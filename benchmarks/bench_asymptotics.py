@@ -1,0 +1,40 @@
+"""Bench: Theorems 8, 14 and 19/20 — the asymptotic claims.
+
+* Thm 8 sandwich: Eq. (10) <= M(n) <= Eq. (9) up to n = 10^6.
+* Thm 14: batching/merging gain grows like L / log_phi L.
+* Thm 19/20: receive-two / receive-all ratio climbs toward log_phi 2.
+"""
+
+from __future__ import annotations
+
+from repro.core.bounds import RECEIVE_ALL_GAIN
+from repro.experiments.asymptotics import run_thm8, run_thm14, run_thm19
+
+from conftest import assert_all_ok
+
+
+def test_thm8_sandwich(benchmark):
+    (res,) = benchmark(run_thm8)
+    assert_all_ok(res.rows, "Theorem 8 sandwich")
+    normalised = res.column("M/(n log_phi n)")
+    # normalised cost approaches 1 from below as n grows
+    assert abs(normalised[-1] - 1) < abs(normalised[0] - 1)
+
+
+def test_thm14_gain(benchmark):
+    (res,) = benchmark(run_thm14)
+    gains = res.column("gain")
+    assert gains == sorted(gains), "gain must grow with L"
+    theta_ratio = res.column("gain/order")
+    assert max(theta_ratio) / min(theta_ratio) < 2.0, "Theta ratio unstable"
+
+
+def test_thm19_ratios(benchmark):
+    merge_res, full_res = benchmark(run_thm19)
+    ratios = merge_res.column("ratio")
+    assert ratios == sorted(ratios), "merge-cost ratio must be increasing"
+    assert all(r < RECEIVE_ALL_GAIN for r in ratios)
+    assert ratios[-1] > 1.40, "ratio should be near log_phi 2 by n = 10^6"
+    full_ratios = full_res.column("ratio")
+    assert full_ratios == sorted(full_ratios)
+    assert all(1.0 <= r < RECEIVE_ALL_GAIN for r in full_ratios)

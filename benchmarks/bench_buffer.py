@@ -1,0 +1,28 @@
+"""Bench: Section 3.3 — bounded-buffer optimal cost (Theorem 16).
+
+No figure in the paper, but Theorem 16 is a stated result: the bench
+regenerates the B-sweep and asserts monotonicity plus convergence to the
+unbounded optimum.
+"""
+
+from __future__ import annotations
+
+from repro.core.buffers import optimal_bounded_full_cost
+from repro.core.full_cost import optimal_full_cost
+from repro.experiments.ablations import run_buffer
+
+from conftest import assert_nonincreasing
+
+
+def test_buffer_sweep(benchmark):
+    (res,) = benchmark(run_buffer, L=100, n=2000, Bs=(1, 2, 5, 10, 20, 35, 50))
+    costs = res.column("F_B(L,n)")
+    assert_nonincreasing(costs, "bounded cost in B")
+    # generous B recovers the unbounded optimum (within a whisker)
+    assert costs[-1] <= 1.01 * optimal_full_cost(100, 2000)
+
+
+def test_tight_bound_is_pairing(benchmark):
+    """B = 1 degenerates to pair-merging: cost ~ n/2 * (L + ~1)."""
+    cost = benchmark(optimal_bounded_full_cost, 100, 2000, 1)
+    assert cost == 1000 * 100 + 1000  # 1000 roots + 1000 unit merges

@@ -1,0 +1,38 @@
+"""Bench: Theorem 7/10 — the O(n) construction vs the O(n^2) DP of [6].
+
+This is the paper's headline algorithmic improvement; the bench times
+both constructions directly (pytest-benchmark groups) and asserts equal
+outputs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import dp
+from repro.core.full_cost import build_optimal_forest, optimal_full_cost
+from repro.core.offline import build_optimal_tree, merge_cost
+
+
+@pytest.mark.parametrize("n", [500, 2000])
+def test_linear_builder(benchmark, n):
+    tree = benchmark(build_optimal_tree, n)
+    assert tree.merge_cost() == merge_cost(n)
+
+
+@pytest.mark.parametrize("n", [500, 2000])
+def test_quadratic_dp(benchmark, n):
+    table = benchmark(dp.merge_cost_table, n)
+    assert table[n] == merge_cost(n)
+
+
+def test_linear_builder_large(benchmark):
+    """n = 100k: far beyond the DP's reach, still sub-second."""
+    tree = benchmark(build_optimal_tree, 100_000)
+    assert tree.merge_cost() == merge_cost(100_000)
+
+
+def test_forest_construction_theorem10(benchmark):
+    """O(L + n) optimal forest: L=500, n=50k."""
+    forest = benchmark(build_optimal_forest, 500, 50_000)
+    assert forest.full_cost(500) == optimal_full_cost(500, 50_000)

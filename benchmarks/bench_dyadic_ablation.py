@@ -1,0 +1,49 @@
+"""Ablation bench: dyadic (alpha, beta) parameter sensitivity.
+
+The paper (after [4]) runs the dyadic comparator with alpha = phi instead
+of the original alpha = 2 and tunes beta per workload (0.5 Poisson,
+F_h/L constant-rate).  The bench verifies both choices are sane: alpha=phi
+within a few percent of alpha=2, and the paper's beta no worse than
+naive alternatives on its intended workload.
+"""
+
+from __future__ import annotations
+
+from repro.arrivals import constant_rate, poisson
+from repro.baselines.dyadic import DyadicParams, dyadic_cost, paper_beta
+from repro.core.fibonacci import PHI
+
+L = 100
+HORIZON = 3000.0
+
+
+def test_alpha_phi_vs_two(benchmark):
+    def run():
+        out = {}
+        for seed in (0, 1, 2):
+            trace = list(poisson(0.5, HORIZON, seed=seed))
+            for alpha in (PHI, 2.0):
+                params = DyadicParams(alpha=alpha, beta=0.5)
+                out.setdefault(alpha, 0.0)
+                out[alpha] += dyadic_cost(trace, L, params)
+        return out
+
+    totals = benchmark(run)
+    ratio = totals[PHI] / totals[2.0]
+    assert 0.9 < ratio < 1.1, f"alpha=phi should be competitive, ratio={ratio}"
+
+
+def test_paper_beta_constant_rate(benchmark):
+    """beta = F_h/L should beat clearly-off betas on constant arrivals."""
+
+    def run():
+        trace = list(constant_rate(0.5, HORIZON))
+        beta_star = paper_beta(L, "constant")
+        costs = {}
+        for beta in (0.15, beta_star, 0.95):
+            costs[beta] = dyadic_cost(trace, L, DyadicParams(alpha=PHI, beta=beta))
+        return beta_star, costs
+
+    beta_star, costs = benchmark(run)
+    assert costs[beta_star] <= costs[0.15]
+    assert costs[beta_star] <= costs[0.95] * 1.05

@@ -1,0 +1,39 @@
+"""Bench: the Section 5 extension experiments (multiplex, hybrid,
+general-arrivals optimum).
+
+These are the repo's additions beyond the paper's evaluation; the benches
+pin their qualitative claims the same way the figure benches do.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.extensions import (
+    run_general_offline,
+    run_hybrid,
+    run_multiplex,
+)
+
+
+def test_multiplex_provisioning(benchmark):
+    (res,) = benchmark(
+        run_multiplex,
+        titles=12,
+        horizon_minutes=480.0,
+        mean_interarrival_minutes=0.75,
+        delays=(5.0, 10.0, 20.0),
+        seed=1,
+    )
+    peaks = res.column("DG peak ch.")
+    assert all(a >= b for a, b in zip(peaks, peaks[1:]))
+
+
+def test_hybrid_day_night(benchmark):
+    (res,) = benchmark(run_hybrid, L=60, phase_slots=300.0, phases=4, seed=1)
+    by_policy = {row[0]: row for row in res.rows}
+    assert by_policy["hybrid"][1] < by_policy["pure DG"][1]
+
+
+def test_general_offline_bound(benchmark):
+    (res,) = benchmark(run_general_offline, L=40, lams=(2.0, 6.0), horizon=300.0)
+    for row in res.rows:
+        assert row[4] >= 1.0 and row[6] >= 1.0

@@ -1,0 +1,32 @@
+"""Bench: Fig. 1 — bandwidth savings vs guaranteed start-up delay.
+
+Regenerates the figure's two series (off-line optimal and on-line DG, in
+complete-media-stream units) over a 100-media-length horizon and asserts
+the paper's shape: steep monotone decrease, on-line hugging off-line.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig1_delay_savings import run_fig1
+
+from conftest import assert_strictly_decreasing
+
+
+def test_fig1_full_grid(benchmark):
+    (res,) = benchmark(run_fig1)
+    offline = res.column("off-line opt (streams)")
+    online = res.column("on-line DG (streams)")
+    assert_strictly_decreasing(offline, "off-line streams")
+    assert_strictly_decreasing(online, "on-line streams")
+    for f, a in zip(offline, online):
+        assert 0.999 <= a / f < 1.05, "on-line should hug off-line"
+
+
+def test_fig1_savings_magnitude(benchmark):
+    """At 1% delay the saving vs batching is order tens of x (paper's
+    motivating observation)."""
+    (res,) = benchmark(run_fig1, delays_pct=(1.0,), horizon_media=100)
+    row = res.rows[0]
+    offline_streams = row[3]
+    batching_streams = row[5]
+    assert batching_streams / offline_streams > 10

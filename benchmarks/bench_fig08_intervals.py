@@ -1,0 +1,25 @@
+"""Bench: Fig. 8 — the I(n) root-merge interval table, 2 <= n <= 55.
+
+Exact reproduction: every closed-form interval must match the DP argmin
+set.  Also times the O(n) r(i) recurrence at scale.
+"""
+
+from __future__ import annotations
+
+from repro.core.offline import last_merge_table
+from repro.experiments.fig8_root_intervals import run_fig8
+
+from conftest import assert_all_ok
+
+
+def test_fig8_table(benchmark):
+    (res,) = benchmark(run_fig8, n_max=55)
+    assert_all_ok(res.rows, "I(n) table")
+    assert len(res.rows) == 54
+
+
+def test_last_merge_recurrence_scale(benchmark):
+    """r(1..10^6) in O(n) — the heart of the Theorem 7 constructor."""
+    table = benchmark(last_merge_table, 1_000_000)
+    assert table[8] == 5
+    assert table[2] == 1

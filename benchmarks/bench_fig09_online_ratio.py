@@ -1,0 +1,38 @@
+"""Bench: Fig. 9 — on-line/off-line bandwidth ratio vs time horizon.
+
+Asserts ratio -> 1 and the Theorem 22 bound wherever its hypotheses hold.
+"""
+
+from __future__ import annotations
+
+from repro.core.bounds import online_ratio_bound, online_ratio_bound_applies
+from repro.core.full_cost import optimal_full_cost
+from repro.core.online import online_full_cost
+from repro.experiments.fig9_online_ratio import run_fig9
+
+from conftest import assert_all_ok
+
+
+def test_fig9_series(benchmark):
+    results = benchmark(run_fig9, Ls=(15, 50, 100), ns=(10, 100, 1000, 10000, 100000))
+    for res in results:
+        assert_all_ok(res.rows, res.title)
+        ratios = res.column("ratio")
+        assert ratios[-1] < 1.005, f"{res.title}: no convergence, {ratios}"
+
+
+def test_theorem22_bound_grid(benchmark):
+    """Dense bound check across the theorem's hypothesis region."""
+
+    def check():
+        violations = []
+        for L in (7, 9, 12, 15, 20, 30):
+            for mult in (1.1, 2, 5, 20):
+                n = int(mult * (L * L + 3))
+                ratio = online_full_cost(L, n) / optimal_full_cost(L, n)
+                if online_ratio_bound_applies(L, n) and ratio > online_ratio_bound(L, n):
+                    violations.append((L, n, ratio))
+        return violations
+
+    violations = benchmark(check)
+    assert not violations

@@ -1,0 +1,34 @@
+"""Bench: Fig. 11 — policy comparison under constant-rate arrivals.
+
+Shape targets (paper Section 4.2): Delay Guaranteed flat in lam; immediate
+dyadic worst for lam < delay and best for lam > delay; crossover near
+lam = delay; batched dyadic ~= immediate dyadic once lam > delay.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.policy_comparison import run_fig11
+
+from conftest import assert_strictly_decreasing
+
+LAMBDAS = (0.25, 0.5, 1.0, 2.0, 3.0, 5.0)
+
+
+def test_fig11_series(benchmark):
+    (res,) = benchmark(run_fig11, L=100, lambdas=LAMBDAS, horizon_media=50)
+    imm = res.column("immediate dyadic")
+    bat = res.column("batched dyadic")
+    dg = res.column("delay guaranteed")
+    assert len(set(dg)) == 1, "DG must be intensity-independent"
+    assert_strictly_decreasing(imm, "immediate dyadic")
+    # low intensity: immediate pays for not batching
+    assert imm[0] > dg[0]
+    # high intensity: merging beats the slot-per-stream DG
+    assert imm[-1] < dg[-1] and bat[-1] < dg[-1]
+    # crossover in the vicinity of lam = delay (between 0.5 and 2 slots)
+    below = [l for l, v in zip(LAMBDAS, imm) if v > dg[0]]
+    above = [l for l, v in zip(LAMBDAS, imm) if v < dg[0]]
+    assert below and above
+    assert max(below) <= 2.0 and min(above) >= 0.5
+    # immediate ~ batched at high intensity
+    assert abs(imm[-1] - bat[-1]) / bat[-1] < 0.05

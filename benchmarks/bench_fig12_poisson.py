@@ -1,0 +1,42 @@
+"""Bench: Fig. 12 — policy comparison under Poisson arrivals.
+
+Same shape targets as Fig. 11 plus the paper's Poisson-specific finding:
+the Delay Guaranteed algorithm fares relatively worse than under constant
+rate because randomly-empty slots still start streams.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.policy_comparison import compare_policies, run_fig12
+
+from conftest import assert_strictly_decreasing
+
+LAMBDAS = (0.25, 0.5, 1.0, 2.0, 3.0, 5.0)
+
+
+def test_fig12_series(benchmark):
+    (res,) = benchmark(
+        run_fig12, L=100, lambdas=LAMBDAS, horizon_media=50, seeds=(0, 1)
+    )
+    imm = res.column("immediate dyadic")
+    bat = res.column("batched dyadic")
+    dg = res.column("delay guaranteed")
+    assert len(set(dg)) == 1
+    assert_strictly_decreasing(imm, "immediate dyadic")
+    assert imm[0] > dg[0]
+    assert imm[-1] < dg[-1] and bat[-1] < dg[-1]
+
+
+def test_fig12_dg_poisson_penalty(benchmark):
+    """DG's relative standing vs batched dyadic is worse under Poisson."""
+
+    def margins():
+        c = compare_policies(100, 0.5, 3000.0, "constant")
+        p = compare_policies(100, 0.5, 3000.0, "poisson", seeds=(0, 1, 2))
+        return (
+            c["batched_dyadic"] / c["delay_guaranteed"],
+            p["batched_dyadic"] / p["delay_guaranteed"],
+        )
+
+    margin_const, margin_pois = benchmark(margins)
+    assert margin_pois < margin_const

@@ -1,0 +1,34 @@
+"""Ablation bench: Theorem 12's two-candidate argmin vs brute-force scan.
+
+DESIGN.md design-choice ablation: the closed-form stream-count choice must
+match the brute-force optimum everywhere, at a fraction of the cost.
+"""
+
+from __future__ import annotations
+
+from repro.core.full_cost import (
+    brute_force_stream_count,
+    optimal_full_cost,
+)
+
+GRID = [(L, n) for L in (5, 15, 50, 150) for n in (10, 100, 1000, 5000)]
+
+
+def test_theorem12_fast_path(benchmark):
+    def run():
+        return [optimal_full_cost(L, n) for L, n in GRID]
+
+    costs = benchmark(run)
+    assert all(c > 0 for c in costs)
+
+
+def test_brute_force_path(benchmark):
+    small = [(L, n) for L, n in GRID if n <= 1000]
+
+    def run():
+        return [brute_force_stream_count(L, n)[1] for L, n in small]
+
+    costs = benchmark(run)
+    # equality with the fast path — correctness of the ablation
+    fast = [optimal_full_cost(L, n) for L, n in small]
+    assert costs == fast

@@ -1,0 +1,34 @@
+"""Ablation bench: the DG algorithm's static tree size.
+
+Theorem 12 motivates repeating trees of F_h arrivals.  The bench sweeps
+neighbouring sizes and asserts F_h (or an immediate neighbour, on ties)
+minimises the long-horizon cost.
+"""
+
+from __future__ import annotations
+
+from repro.core.fibonacci import fib, tree_size_index
+from repro.core.online import online_full_cost
+
+L = 100
+N = 20_000
+
+
+def test_tree_size_sweep(benchmark):
+    fh = fib(tree_size_index(L))
+
+    def run():
+        sizes = [fh - 13, fh - 5, fh - 1, fh, fh + 1, fh + 5, fh + 13]
+        return {s: online_full_cost(L, N, tree_size=s) for s in sizes if 1 <= s < L}
+
+    costs = benchmark(run)
+    best_size = min(costs, key=costs.get)
+    assert abs(best_size - fh) <= 1, (
+        f"F_h={fh} should minimise the static-tree cost, best={best_size}"
+    )
+
+
+def test_default_matches_fh(benchmark):
+    cost_default = benchmark(online_full_cost, L, N)
+    fh = fib(tree_size_index(L))
+    assert cost_default == online_full_cost(L, N, tree_size=fh)

@@ -1,0 +1,49 @@
+"""Bench: event-driven simulator throughput and exactness.
+
+Not a paper figure, but the substrate all Section 4.2 numbers rest on:
+the bench times full runs and asserts measured bandwidth equals the
+analytic forest cost to the unit.
+"""
+
+from __future__ import annotations
+
+from repro.arrivals import every_slot, poisson
+from repro.baselines.dyadic import DyadicParams, dyadic_forest
+from repro.core.online import online_full_cost
+from repro.simulation import (
+    DelayGuaranteedPolicy,
+    ImmediateDyadicPolicy,
+    Simulation,
+    verify_simulation,
+)
+
+
+def test_dg_simulation_10k_slots(benchmark):
+    L, n = 100, 10_000
+
+    def run():
+        return Simulation(L, every_slot(n), DelayGuaranteedPolicy(L)).run()
+
+    res = benchmark(run)
+    assert res.metrics.total_units == online_full_cost(L, n)
+
+
+def test_immediate_dyadic_simulation(benchmark):
+    L = 100
+    trace = poisson(0.5, 2000.0, seed=0)
+    params = DyadicParams()
+
+    def run():
+        return Simulation(L, trace, ImmediateDyadicPolicy(L, params)).run()
+
+    res = benchmark(run)
+    want = dyadic_forest(list(trace), L, params).full_cost(L)
+    assert abs(res.metrics.total_units - want) < 1e-6
+
+
+def test_verification_replay(benchmark):
+    """Full receiving-program replay of a 500-slot DG run."""
+    L, n = 20, 500
+    res = Simulation(L, every_slot(n), DelayGuaranteedPolicy(L)).run()
+    report = benchmark(verify_simulation, res)
+    assert report.ok

@@ -1,0 +1,47 @@
+"""Bench: the in-text M(n) and Mw(n) tables (Sections 3.1 / 3.4).
+
+Regenerates both 16-entry tables exactly as printed in the paper and
+times the closed-form evaluators at production scale (n = 10^6 entries)
+against the quadratic DP they replace.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import dp, offline, receive_all
+from repro.experiments.table_merge_cost import PAPER_M, PAPER_MW, run_table_mn, run_table_mw
+
+from conftest import assert_all_ok
+
+
+def test_table_mn_regeneration(benchmark):
+    (res,) = benchmark(run_table_mn)
+    assert_all_ok(res.rows, "M(n) table")
+    assert [row[1] for row in res.rows] == PAPER_M
+
+
+def test_table_mw_regeneration(benchmark):
+    (res,) = benchmark(run_table_mw)
+    assert_all_ok(res.rows, "Mw(n) table")
+    assert [row[1] for row in res.rows] == PAPER_MW
+
+
+def test_closed_form_bulk_evaluation(benchmark):
+    """Vectorised Eq. (6) over 10^6 sizes — the sweep-path workhorse."""
+    ns = np.arange(1, 1_000_001)
+    out = benchmark(offline.merge_cost_array, ns)
+    assert out[7] == 21  # M(8)
+    assert out[-1] == offline.merge_cost(1_000_000)
+
+
+def test_receive_all_bulk_evaluation(benchmark):
+    ns = np.arange(1, 1_000_001)
+    out = benchmark(receive_all.merge_cost_receive_all_array, ns)
+    assert out[7] == 17  # Mw(8)
+
+
+def test_dp_reference_cost(benchmark):
+    """The O(n^2) baseline the paper's O(n) results replace (n = 2000)."""
+    table = benchmark(dp.merge_cost_table, 2000)
+    assert table[8] == 21

@@ -1,0 +1,28 @@
+"""Bench: the worked examples (Figs. 3-4, 6-7 and the full-cost numbers).
+
+Cheap but they pin the exact integers the paper prints; regressions here
+mean the model semantics drifted.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.worked_examples import run_fig3, run_fig67, run_table_full
+
+from conftest import assert_all_ok
+
+
+def test_fig3_example(benchmark):
+    streams_res, prog_res = benchmark(run_fig3)
+    assert "36" in streams_res.title
+    assert len(prog_res.rows) == 15
+
+
+def test_fig67_enumeration(benchmark):
+    counts_res, _fib = benchmark(run_fig67, n_enum_max=9)
+    by_n = {row[0]: row[1] for row in counts_res.rows}
+    assert by_n[4] == 2 and by_n[8] == 1
+
+
+def test_full_cost_examples(benchmark):
+    (res,) = benchmark(run_table_full)
+    assert_all_ok(res.rows, "full-cost examples")

@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates a paper table/figure (or an ablation DESIGN.md
+calls out) through the same entry points the CLI uses, times it with
+pytest-benchmark, and asserts the paper's qualitative shape on the output
+so a regression in *correctness* fails the bench, not just a slowdown.
+
+Run with:  pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import pytest
+
+
+def column(result, name: str) -> List:
+    """Column accessor (mirrors ExperimentResult.column for readability)."""
+    return result.column(name)
+
+
+def assert_strictly_decreasing(xs: Sequence[float], label: str = "series") -> None:
+    assert all(a > b for a, b in zip(xs, xs[1:])), f"{label} not decreasing: {xs}"
+
+
+def assert_nonincreasing(xs: Sequence[float], label: str = "series") -> None:
+    assert all(a >= b for a, b in zip(xs, xs[1:])), f"{label} increased: {xs}"
+
+
+def assert_all_ok(rows, label: str = "table") -> None:
+    bad = [r for r in rows if r[-1] != "ok"]
+    assert not bad, f"{label} rows failed: {bad[:5]}"

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Provisioning a multi-title VoD server under a channel budget (Section 5).
+
+The paper's closing discussion: for a server carrying many media objects
+the binding constraint is *maximum* bandwidth (how many channels you own),
+and the Delay Guaranteed algorithm has a unique operational property —
+its channel envelope is deterministic, so the operator can pick a delay
+guarantee that provably never exceeds the budget while never declining a
+request.  This example provisions a 30-title Zipf catalog against a
+channel budget and contrasts DG's certain envelope with dyadic's
+workload-dependent peak.
+
+Run:  python examples/multiplex_provisioning.py
+"""
+
+from repro.multiplex import (
+    Catalog,
+    catalog_workload,
+    min_delay_for_budget,
+    serve_catalog,
+)
+
+TITLES = 30
+HORIZON_MIN = 12 * 60.0      # a 12-hour prime-time window
+REQ_EVERY_MIN = 0.5          # ~2 requests/minute across the catalog
+BUDGET = 200                 # physical multicast channels owned
+
+catalog = Catalog.zipf(TITLES, duration_minutes=120.0, exponent=0.8)
+workload = catalog_workload(catalog, REQ_EVERY_MIN, HORIZON_MIN, seed=7)
+total_requests = sum(len(t) for t in workload.values())
+
+print(f"Catalog: {TITLES} two-hour titles, Zipf(0.8) popularity")
+print(f"Window: {HORIZON_MIN:.0f} min, {total_requests} requests "
+      f"(~{total_requests / HORIZON_MIN:.1f}/min)\n")
+
+print("Peak channels needed vs delay guarantee:")
+print("  delay   DG peak (certain)   dyadic peak (this workload)")
+for delay in (2.0, 5.0, 10.0, 15.0, 30.0):
+    dg = serve_catalog(catalog, delay, HORIZON_MIN, policy="dg")
+    dy = serve_catalog(catalog, delay, HORIZON_MIN, policy="dyadic",
+                       workload=workload)
+    print(f"  {delay:4.0f}m   {dg.peak_channels:8d}            "
+          f"{dy.peak_channels:8d}")
+print()
+
+chosen = min_delay_for_budget(
+    catalog, HORIZON_MIN, BUDGET, candidate_delays=(2.0, 5.0, 10.0, 15.0, 30.0)
+)
+if chosen is None:
+    print(f"No candidate delay fits {BUDGET} channels.")
+else:
+    report = serve_catalog(catalog, chosen, HORIZON_MIN, policy="dg")
+    print(f"Budget {BUDGET} channels -> guarantee a {chosen:.0f}-minute "
+          f"start-up delay:")
+    print(f"  certain peak: {report.peak_channels} channels "
+          f"(never exceeded, no request ever declined)")
+    print(f"  total bandwidth: {report.total_units_minutes / 60:.0f} "
+          "stream-hours over the window")
+    print("\nBusiest titles by bandwidth:")
+    for load in report.busiest_objects(5):
+        print(f"  {load.name}: {load.total_units_minutes / 60:6.1f} "
+              f"stream-hours, peak {load.peak} channels (L = {load.L} slots)")
+
+print("\nWhy DG and not dyadic for provisioning?  Dyadic's peak above is")
+print("for *this* trace; a flash crowd moves it.  DG's envelope is a")
+print("property of the delay guarantee alone — Section 5's point.")

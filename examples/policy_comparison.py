@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Head-to-head policy comparison on one Poisson workload (Figs. 11-12 style).
+
+Runs the full event-driven server under six policies on the same arrival
+trace, verifies every run end-to-end, and prints the bandwidth hierarchy
+plus per-policy operational characteristics (start-up delay experienced,
+streams started, peak concurrent streams).
+
+Run:  python examples/policy_comparison.py [mean_interarrival_slots]
+"""
+
+import sys
+
+from repro.arrivals import poisson
+from repro.baselines.dyadic import DyadicParams, paper_beta
+from repro.core.fibonacci import PHI
+from repro.simulation import (
+    BatchedDyadicPolicy,
+    DelayGuaranteedPolicy,
+    ImmediateDyadicPolicy,
+    OfflineOptimalPolicy,
+    PureBatchingPolicy,
+    Simulation,
+    UnicastPolicy,
+    verify_simulation,
+)
+
+L = 100                      # media = 100 slots; 1 slot = 1% of media = delay
+HORIZON = 2_000.0            # 20 media lengths
+LAM = float(sys.argv[1]) if len(sys.argv) > 1 else 0.8
+
+trace = poisson(LAM, HORIZON, seed=42)
+n_slots = int(HORIZON)
+print(f"Workload: Poisson, mean inter-arrival {LAM} slots, "
+      f"{len(trace)} clients over {HORIZON:.0f} slots (L = {L})\n")
+
+# third field: verify with the continuous-interval checker (policies whose
+# stream labels are real-valued arrival times rather than slot ends)
+policies = [
+    ("unicast", UnicastPolicy(L), True),
+    ("pure batching", PureBatchingPolicy(L), False),
+    ("delay guaranteed", DelayGuaranteedPolicy(L), False),
+    ("immediate dyadic", ImmediateDyadicPolicy(L, DyadicParams(alpha=PHI, beta=0.5)), True),
+    (
+        "batched dyadic",
+        BatchedDyadicPolicy(L, DyadicParams(alpha=PHI, beta=paper_beta(L, "poisson"))),
+        False,
+    ),
+    ("offline optimal*", OfflineOptimalPolicy(L, n_slots), False),
+]
+
+print(f"{'policy':<18}{'movies served':>14}{'streams':>9}"
+      f"{'peak ch.':>10}{'max delay':>11}")
+rows = []
+for name, policy, continuous in policies:
+    res = Simulation(L, trace, policy).run()
+    verify_simulation(res, continuous=continuous).raise_if_failed()
+    m = res.metrics
+    rows.append((name, m.streams_served))
+    print(f"{name:<18}{m.streams_served:>14.2f}{m.streams_started:>9d}"
+          f"{m.peak_concurrency():>10d}{res.max_startup_delay():>11.2f}")
+
+print("\n* offline optimal assumes the delay-guaranteed every-slot model "
+      "(a stream per slot), so at\n  low intensity it can trail the dyadic "
+      "policies that skip empty slots — exactly the\n  regime distinction "
+      "the paper's Figs. 11-12 illustrate.")
+
+by_name = dict(rows)
+assert by_name["unicast"] >= max(v for k, v in rows if k != "unicast"), (
+    "unicast must be the most expensive policy"
+)
+print("\nAll six runs verified: measured bandwidth == analytic forest cost, "
+      "every client's\nreceiving program complete, on time, and within two "
+      "receive channels.")

@@ -1,0 +1,18 @@
+"""Workload generators and arrival traces for the MoD simulations."""
+
+from .generators import bursty, constant_rate, every_slot, poisson, rng_from
+from .serialization import load_trace, save_trace, trace_from_json, trace_to_json
+from .traces import ArrivalTrace
+
+__all__ = [
+    "ArrivalTrace",
+    "bursty",
+    "constant_rate",
+    "every_slot",
+    "load_trace",
+    "poisson",
+    "rng_from",
+    "save_trace",
+    "trace_from_json",
+    "trace_to_json",
+]

@@ -1,0 +1,134 @@
+"""Workload generators for the paper's simulations (Section 4.2).
+
+Two client-arrival patterns drive Figs. 11-12: *constant rate* arrivals
+with fixed inter-arrival gap ``lam`` and *Poisson* arrivals where ``lam`` is
+the mean inter-arrival time (the paper's "intensity" axis plots ``lam`` as a
+percentage of the media length).  The delay-guaranteed analyses use the
+degenerate one-client-per-slot pattern.
+
+All stochastic generators take an explicit ``numpy`` Generator or seed so
+experiments are reproducible; nothing reads global RNG state.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from .traces import ArrivalTrace
+
+__all__ = [
+    "constant_rate",
+    "poisson",
+    "every_slot",
+    "bursty",
+    "rng_from",
+]
+
+SeedLike = Union[None, int, np.random.Generator]
+
+
+def rng_from(seed: SeedLike) -> np.random.Generator:
+    """Coerce None/int/Generator into a numpy Generator."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def constant_rate(
+    interarrival: float, horizon: float, offset: float = 0.0
+) -> ArrivalTrace:
+    """Arrivals at ``offset, offset + lam, offset + 2 lam, ...`` in [0, horizon).
+
+    ``interarrival`` is the constant gap ``lam``; the paper sweeps it from
+    near 0% to 5% of the media length.
+    """
+    if interarrival <= 0:
+        raise ValueError(f"interarrival must be positive, got {interarrival}")
+    if not 0 <= offset < horizon:
+        raise ValueError(f"offset {offset} outside [0, {horizon})")
+    count = int(np.floor((horizon - offset) / interarrival))
+    times = offset + interarrival * np.arange(count + 1)
+    times = times[times < horizon]
+    return ArrivalTrace(times=tuple(float(t) for t in times), horizon=horizon)
+
+
+def poisson(
+    mean_interarrival: float, horizon: float, seed: SeedLike = None
+) -> ArrivalTrace:
+    """Poisson process with mean gap ``lam`` on ``[0, horizon)``.
+
+    Gaps are i.i.d. exponential with mean ``mean_interarrival``; ties (which
+    have probability zero but can appear after float rounding) are nudged by
+    the smallest representable step so the trace stays strictly increasing.
+    """
+    if mean_interarrival <= 0:
+        raise ValueError(
+            f"mean_interarrival must be positive, got {mean_interarrival}"
+        )
+    rng = rng_from(seed)
+    times = []
+    t = 0.0
+    # Draw in blocks to amortise RNG overhead without materialising more
+    # than needed (expected count = horizon / mean).
+    expected = max(16, int(horizon / mean_interarrival * 1.2) + 16)
+    while True:
+        gaps = rng.exponential(mean_interarrival, size=expected)
+        for g in gaps:
+            t += g
+            if t >= horizon:
+                return ArrivalTrace(times=tuple(times), horizon=horizon)
+            if times and t <= times[-1]:
+                t = np.nextafter(times[-1], np.inf)
+                if t >= horizon:
+                    return ArrivalTrace(times=tuple(times), horizon=horizon)
+            times.append(t)
+
+
+def every_slot(n: int, slot: float = 1.0) -> ArrivalTrace:
+    """One client at the start of each of ``n`` slots (the DG special case).
+
+    The delay-guaranteed analyses treat a client arriving anywhere inside a
+    slot as served at the slot end; this canonical trace puts one client at
+    each slot start ``0, slot, 2*slot, ...``.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    times = tuple(i * slot for i in range(n))
+    return ArrivalTrace(times=times, horizon=n * slot)
+
+
+def bursty(
+    mean_interarrival: float,
+    horizon: float,
+    burst_size: int,
+    burst_spread: float,
+    seed: SeedLike = None,
+) -> ArrivalTrace:
+    """Clustered arrivals: Poisson burst anchors, each with a local cluster.
+
+    An extension workload (not in the paper) used by robustness tests:
+    anchors follow a Poisson process with mean gap
+    ``mean_interarrival * burst_size``; each anchor spawns ``burst_size``
+    clients uniformly inside ``[anchor, anchor + burst_spread)``.
+    """
+    if burst_size < 1:
+        raise ValueError(f"burst_size must be >= 1, got {burst_size}")
+    if burst_spread <= 0:
+        raise ValueError(f"burst_spread must be positive, got {burst_spread}")
+    rng = rng_from(seed)
+    anchors = poisson(mean_interarrival * burst_size, horizon, rng)
+    times: list[float] = []
+    for anchor in anchors:
+        times.extend(anchor + rng.uniform(0, burst_spread, size=burst_size))
+    times = sorted(t for t in times if t < horizon)
+    # enforce strict monotonicity after the union
+    out: list[float] = []
+    for t in times:
+        if out and t <= out[-1]:
+            t = np.nextafter(out[-1], np.inf)
+            if t >= horizon:
+                continue
+        out.append(float(t))
+    return ArrivalTrace(times=tuple(out), horizon=horizon)

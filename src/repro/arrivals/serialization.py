@@ -1,0 +1,61 @@
+"""Trace serialization: save/load workloads for reproducible experiments.
+
+Experiments that compare policies must run them on *identical* traces;
+persisting the trace (rather than the seed) also survives RNG-algorithm
+changes across numpy versions.  Format: a small JSON envelope with a
+schema version, the horizon, and the times array.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from .traces import ArrivalTrace
+
+__all__ = ["trace_to_json", "trace_from_json", "save_trace", "load_trace"]
+
+_SCHEMA = "repro.arrival-trace.v1"
+
+
+def trace_to_json(trace: ArrivalTrace, meta: Union[dict, None] = None) -> str:
+    """Serialise a trace (and optional metadata) to a JSON string."""
+    payload = {
+        "schema": _SCHEMA,
+        "horizon": trace.horizon,
+        "count": len(trace),
+        "times": list(trace.times),
+        "meta": meta or {},
+    }
+    return json.dumps(payload)
+
+
+def trace_from_json(text: str) -> ArrivalTrace:
+    """Parse a trace serialised by :func:`trace_to_json`.
+
+    Validates the schema tag and re-runs the ArrivalTrace invariants
+    (strictly increasing, inside the horizon).
+    """
+    payload = json.loads(text)
+    if payload.get("schema") != _SCHEMA:
+        raise ValueError(
+            f"not an arrival-trace document (schema={payload.get('schema')!r})"
+        )
+    times = tuple(float(t) for t in payload["times"])
+    if payload.get("count") != len(times):
+        raise ValueError(
+            f"corrupt trace: declared {payload.get('count')} times, "
+            f"found {len(times)}"
+        )
+    return ArrivalTrace(times=times, horizon=float(payload["horizon"]))
+
+
+def save_trace(trace: ArrivalTrace, path: Union[str, Path], meta: Union[dict, None] = None) -> None:
+    """Write a trace to ``path`` as JSON."""
+    Path(path).write_text(trace_to_json(trace, meta))
+
+
+def load_trace(path: Union[str, Path]) -> ArrivalTrace:
+    """Read a trace written by :func:`save_trace`."""
+    return trace_from_json(Path(path).read_text())

@@ -1,0 +1,128 @@
+"""Arrival traces: containers and slotting (batching) transforms.
+
+The paper's evaluation (Section 4.2) feeds three workload shapes to the
+algorithms: constant-rate arrivals, Poisson arrivals, and the special
+delay-guaranteed case of one (imaginary) client per slot.  The on-line
+policies consume arrivals in two forms:
+
+* raw real-valued arrival times (immediate-service dyadic);
+* *slotted* times — each client waits until the end of its slot of length
+  ``D`` (the guaranteed start-up delay), so a slot with ``>= 1`` arrivals
+  becomes one imaginary client at the slot end (batched dyadic / DG).
+
+``ArrivalTrace`` is an immutable container with those transforms plus the
+usual summary statistics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+import numpy as np
+
+__all__ = ["ArrivalTrace"]
+
+
+@dataclass(frozen=True)
+class ArrivalTrace:
+    """A strictly increasing sequence of client arrival times.
+
+    ``horizon`` is the (exclusive) end of the observation window; arrivals
+    must fall in ``[0, horizon)``.  Times are floats in *slot units* unless
+    a caller opts for other units consistently.
+    """
+
+    times: Tuple[float, ...]
+    horizon: float
+
+    def __post_init__(self) -> None:
+        ts = self.times
+        if any(b <= a for a, b in zip(ts, ts[1:])):
+            raise ValueError("arrival times must be strictly increasing")
+        if ts and (ts[0] < 0 or ts[-1] >= self.horizon):
+            raise ValueError(
+                f"arrivals must lie in [0, {self.horizon}); "
+                f"got range [{ts[0]}, {ts[-1]}]"
+            )
+        if self.horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {self.horizon}")
+
+    @staticmethod
+    def from_times(times: Iterable[float], horizon: float) -> "ArrivalTrace":
+        return ArrivalTrace(times=tuple(times), horizon=horizon)
+
+    # -- basics ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def __iter__(self):
+        return iter(self.times)
+
+    def is_empty(self) -> bool:
+        return not self.times
+
+    def mean_interarrival(self) -> float:
+        """Mean gap between consecutive arrivals (nan when < 2 arrivals)."""
+        if len(self.times) < 2:
+            return math.nan
+        return (self.times[-1] - self.times[0]) / (len(self.times) - 1)
+
+    def rate(self) -> float:
+        """Arrivals per unit time over the horizon."""
+        return len(self.times) / self.horizon
+
+    # -- slotting ----------------------------------------------------------------
+
+    def num_slots(self, slot: float = 1.0) -> int:
+        """Number of slots of length ``slot`` covering the horizon."""
+        if slot <= 0:
+            raise ValueError(f"slot length must be positive, got {slot}")
+        return int(math.ceil(self.horizon / slot))
+
+    def slot_counts(self, slot: float = 1.0) -> np.ndarray:
+        """Clients per slot; slot ``t`` covers ``[t*slot, (t+1)*slot)``."""
+        counts = np.zeros(self.num_slots(slot), dtype=np.int64)
+        if self.times:
+            idx = (np.asarray(self.times) / slot).astype(np.int64)
+            np.add.at(counts, idx, 1)
+        return counts
+
+    def slotted(self, slot: float = 1.0, keep_empty: bool = False) -> List[int]:
+        """Batch arrivals to slot ends, in units of ``slot``.
+
+        Returns the sorted list of *slot indices* ``t`` such that the slot
+        ``[t*slot, (t+1)*slot)`` must be served: with ``keep_empty=False``
+        only slots containing at least one arrival (the batched-dyadic
+        view); with ``keep_empty=True`` every slot in the horizon (the
+        Delay Guaranteed view, which starts a stream at the end of every
+        slot regardless).  The imaginary client for slot ``t`` arrives at
+        time ``(t+1)*slot``, i.e. the slot's end — callers converting back
+        to time units should use ``(t+1)*slot``.
+        """
+        if keep_empty:
+            return list(range(self.num_slots(slot)))
+        counts = self.slot_counts(slot)
+        return [int(i) for i in np.nonzero(counts)[0]]
+
+    def slot_end_times(self, slot: float = 1.0, keep_empty: bool = False) -> List[float]:
+        """End times of the served slots (the batched clients' start times)."""
+        return [(t + 1) * slot for t in self.slotted(slot, keep_empty)]
+
+    # -- surgery -----------------------------------------------------------------
+
+    def restrict(self, start: float, end: float) -> "ArrivalTrace":
+        """Sub-trace of arrivals in ``[start, end)``, re-anchored at 0."""
+        if not 0 <= start < end <= self.horizon:
+            raise ValueError(f"bad window [{start}, {end}) for horizon {self.horizon}")
+        kept = tuple(t - start for t in self.times if start <= t < end)
+        return ArrivalTrace(times=kept, horizon=end - start)
+
+    def merged_with(self, other: "ArrivalTrace") -> "ArrivalTrace":
+        """Union of two traces on the max horizon (duplicates perturbed)."""
+        times = sorted(set(self.times) | set(other.times))
+        return ArrivalTrace(
+            times=tuple(times), horizon=max(self.horizon, other.horizon)
+        )

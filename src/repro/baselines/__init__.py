@@ -1,0 +1,32 @@
+"""Baseline / comparator algorithms: dyadic merging, batching, unicast,
+patching."""
+
+from .batching import batched_dyadic_cost, batched_dyadic_forest, pure_batching_cost
+from .dyadic import (
+    DyadicOnline,
+    DyadicParams,
+    dyadic_cost,
+    dyadic_forest,
+    dyadic_interval_index,
+    dyadic_tree,
+    paper_beta,
+)
+from .patching import PatchingResult, patching_cost, recommended_window
+from .unicast import unicast_cost
+
+__all__ = [
+    "DyadicOnline",
+    "DyadicParams",
+    "PatchingResult",
+    "batched_dyadic_cost",
+    "batched_dyadic_forest",
+    "dyadic_cost",
+    "dyadic_forest",
+    "dyadic_interval_index",
+    "dyadic_tree",
+    "paper_beta",
+    "patching_cost",
+    "pure_batching_cost",
+    "recommended_window",
+    "unicast_cost",
+]

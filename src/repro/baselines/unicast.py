@@ -1,0 +1,18 @@
+"""Unicast baseline: one dedicated full stream per client.
+
+The "implausible" strawman of the paper's introduction — it upper-bounds
+every policy and anchors the bandwidth-savings narrative of Fig. 1.
+"""
+
+from __future__ import annotations
+
+from ..arrivals.traces import ArrivalTrace
+
+__all__ = ["unicast_cost"]
+
+
+def unicast_cost(trace: ArrivalTrace, L: int) -> float:
+    """Total bandwidth: ``L`` units for every individual client."""
+    if L < 1:
+        raise ValueError(f"L must be >= 1, got {L}")
+    return len(trace) * L

@@ -1,0 +1,90 @@
+"""Command-line entry point: regenerate any paper table/figure.
+
+Usage::
+
+    python -m repro list
+    python -m repro fig1
+    python -m repro fig12 --save results/
+    python -m repro all --save results/
+
+Each experiment prints the same rows/series the paper reports (see
+DESIGN.md for the experiment index and EXPERIMENTS.md for recorded
+paper-vs-measured comparisons).  ``--save`` additionally writes rendered
+text and raw JSON per experiment.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .experiments import all_experiments, get_experiment
+from .experiments.report import save_results
+
+__all__ = ["main"]
+
+
+def _print_listing() -> None:
+    exps = all_experiments()
+    width = max(len(e) for e in exps)
+    print("Available experiments:\n")
+    for exp_id in sorted(exps):
+        exp = exps[exp_id]
+        print(f"  {exp_id.ljust(width)}  {exp.title}  [{exp.paper_ref}]")
+    print("\nRun one with: python -m repro <id>")
+
+
+def _run_one(exp_id: str, save_dir: Optional[str]) -> None:
+    exp = get_experiment(exp_id)
+    t0 = time.perf_counter()
+    results = exp()
+    elapsed = time.perf_counter() - t0
+    for res in results:
+        print(res.render())
+        print()
+    if save_dir is not None:
+        paths = save_results(exp, results, save_dir)
+        print("saved: " + ", ".join(str(p) for p in paths))
+    print(f"[{exp_id} completed in {elapsed:.2f}s]")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate tables/figures from Bar-Noy, Goshi & Ladner "
+        "(SPAA'03/JDA'06) — stream merging for Media-on-Demand.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (see `list`), `list`, or `all`",
+    )
+    parser.add_argument(
+        "--save",
+        nargs="?",
+        const="results",
+        default=None,
+        metavar="DIR",
+        help="also write <id>.txt and <id>.json under DIR (default: results/)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        _print_listing()
+        return 0
+    if args.experiment == "all":
+        for exp_id in sorted(all_experiments()):
+            print(f"\n{'#' * 70}\n# {exp_id}\n{'#' * 70}\n")
+            _run_one(exp_id, args.save)
+        return 0
+    try:
+        _run_one(args.experiment, args.save)
+    except KeyError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

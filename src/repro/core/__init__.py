@@ -1,0 +1,123 @@
+"""Core algorithms of the paper: merge trees, optimal off-line and on-line
+delay-guaranteed stream merging, receive-all variant, buffer bounds.
+
+Public surface re-exported here; see individual modules for the maths.
+"""
+
+from .fibonacci import PHI, fib, tree_size_index
+from .merge_tree import MergeForest, MergeNode, MergeTree, chain_tree, star_tree, tree_from_parent_map
+from .offline import (
+    build_optimal_tree,
+    enumerate_optimal_trees,
+    fibonacci_tree,
+    merge_cost,
+    merge_cost_array,
+    root_merge_interval,
+)
+from .full_cost import (
+    build_optimal_forest,
+    full_cost_breakdown,
+    full_cost_given_streams,
+    optimal_full_cost,
+    optimal_stream_count,
+)
+from .receive_all import (
+    build_optimal_forest_receive_all,
+    build_optimal_tree_receive_all,
+    merge_cost_receive_all,
+    optimal_full_cost_receive_all,
+)
+from .buffers import (
+    buffer_requirement,
+    build_optimal_bounded_forest,
+    optimal_bounded_full_cost,
+)
+from .online import (
+    OnlineScheduler,
+    build_online_forest,
+    online_full_cost,
+    online_over_optimal_ratio,
+    online_tree_size,
+)
+from .receiving_program import (
+    ReceivingProgram,
+    forest_programs,
+    receive_all_program,
+    receive_two_program,
+)
+from .analysis import (
+    bandwidth_timeline,
+    forest_stats,
+    is_fibonacci_tree,
+    merge_hop_histogram,
+    tree_stats,
+)
+from .general import (
+    optimal_forest_general,
+    optimal_full_cost_general,
+    optimal_merge_cost_general,
+    optimal_merge_tree_general,
+)
+from .serialization import (
+    export_client_schedules,
+    forest_from_json,
+    forest_to_json,
+    load_forest,
+    save_forest,
+)
+from . import bounds, dp
+
+__all__ = [
+    "PHI",
+    "fib",
+    "tree_size_index",
+    "MergeForest",
+    "MergeNode",
+    "MergeTree",
+    "chain_tree",
+    "star_tree",
+    "tree_from_parent_map",
+    "build_optimal_tree",
+    "enumerate_optimal_trees",
+    "fibonacci_tree",
+    "merge_cost",
+    "merge_cost_array",
+    "root_merge_interval",
+    "build_optimal_forest",
+    "full_cost_breakdown",
+    "full_cost_given_streams",
+    "optimal_full_cost",
+    "optimal_stream_count",
+    "build_optimal_forest_receive_all",
+    "build_optimal_tree_receive_all",
+    "merge_cost_receive_all",
+    "optimal_full_cost_receive_all",
+    "buffer_requirement",
+    "build_optimal_bounded_forest",
+    "optimal_bounded_full_cost",
+    "OnlineScheduler",
+    "build_online_forest",
+    "online_full_cost",
+    "online_over_optimal_ratio",
+    "online_tree_size",
+    "ReceivingProgram",
+    "forest_programs",
+    "receive_all_program",
+    "receive_two_program",
+    "bandwidth_timeline",
+    "forest_stats",
+    "is_fibonacci_tree",
+    "merge_hop_histogram",
+    "tree_stats",
+    "optimal_forest_general",
+    "optimal_full_cost_general",
+    "optimal_merge_cost_general",
+    "optimal_merge_tree_general",
+    "export_client_schedules",
+    "forest_from_json",
+    "forest_to_json",
+    "load_forest",
+    "save_forest",
+    "bounds",
+    "dp",
+]

@@ -1,0 +1,134 @@
+"""Structural analytics for merge trees and forests.
+
+Questions a deployment engineer asks about a schedule that the cost
+formulas alone don't answer: how deep do clients merge (each hop is a
+re-tune), how is bandwidth spread over time, how close is a tree to the
+canonical Fibonacci shape, and what does each client's journey look like.
+Used by the examples, the docs, and the multiplex reporting.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .fibonacci import is_fib
+from .merge_tree import MergeForest, MergeTree
+from .offline import build_optimal_tree
+
+__all__ = [
+    "TreeStats",
+    "tree_stats",
+    "forest_stats",
+    "is_fibonacci_tree",
+    "merge_hop_histogram",
+    "bandwidth_timeline",
+]
+
+
+@dataclass(frozen=True)
+class TreeStats:
+    """Shape summary of one merge tree."""
+
+    n: int
+    height: int
+    max_fanout: int
+    leaves: int
+    mean_depth: float
+    merge_cost: float
+
+    @property
+    def internal(self) -> int:
+        return self.n - self.leaves
+
+
+def tree_stats(tree: MergeTree) -> TreeStats:
+    """Compute height / fan-out / leaf and depth statistics in one pass."""
+    depths: List[int] = []
+    max_fanout = 0
+    leaves = 0
+    stack = [(tree.root, 0)]
+    while stack:
+        node, depth = stack.pop()
+        depths.append(depth)
+        max_fanout = max(max_fanout, len(node.children))
+        if not node.children:
+            leaves += 1
+        for child in node.children:
+            stack.append((child, depth + 1))
+    return TreeStats(
+        n=len(tree),
+        height=max(depths),
+        max_fanout=max_fanout,
+        leaves=leaves,
+        mean_depth=sum(depths) / len(depths),
+        merge_cost=tree.merge_cost(),
+    )
+
+
+def forest_stats(forest: MergeForest) -> Dict[str, float]:
+    """Aggregate shape statistics across a forest."""
+    per_tree = [tree_stats(t) for t in forest]
+    total_n = sum(s.n for s in per_tree)
+    return {
+        "trees": len(per_tree),
+        "arrivals": total_n,
+        "max_height": max(s.height for s in per_tree),
+        "max_fanout": max(s.max_fanout for s in per_tree),
+        "mean_depth": sum(s.mean_depth * s.n for s in per_tree) / total_n,
+        "merge_cost": sum(s.merge_cost for s in per_tree),
+    }
+
+
+def is_fibonacci_tree(tree: MergeTree) -> bool:
+    """True iff ``tree`` is exactly the canonical Fibonacci merge tree.
+
+    Defined for trees over consecutive integer arrivals whose size is a
+    Fibonacci number; the optimal tree is then unique (Theorem 3), so a
+    structural comparison against the canonical construction decides it.
+    """
+    n = len(tree)
+    if not is_fib(n):
+        return False
+    arrivals = tree.arrivals()
+    start = arrivals[0]
+    if arrivals != [start + i for i in range(n)]:
+        return False
+    canonical = build_optimal_tree(n, start=int(start))
+    return tree.canonical() == canonical.canonical()
+
+
+def merge_hop_histogram(forest: MergeForest) -> Dict[int, int]:
+    """How many clients sit at each merge depth (depth 0 = root clients).
+
+    A client at depth ``d`` performs ``d`` merge operations (re-tunes) on
+    its way to the root stream — an operational cost the paper's
+    simplicity argument cares about.
+    """
+    counts: Counter = Counter()
+    for tree in forest:
+        for node in tree.root.preorder():
+            counts[node.depth()] += 1
+    return dict(sorted(counts.items()))
+
+
+def bandwidth_timeline(
+    forest: MergeForest, L: float, resolution: float = 1.0
+) -> List[Tuple[float, int]]:
+    """(time, live streams) breakpoints over the forest's busy period.
+
+    Exact event-driven sweep (no sampling): one entry per time at which
+    the number of concurrently live streams changes.
+    """
+    deltas: Counter = Counter()
+    for label, length in forest.stream_lengths(L).items():
+        if length > 0:
+            deltas[label] += 1
+            deltas[label + length] -= 1
+    timeline: List[Tuple[float, int]] = []
+    level = 0
+    for t in sorted(deltas):
+        level += deltas[t]
+        timeline.append((t, level))
+    return timeline

@@ -1,0 +1,94 @@
+"""Closed-form analytic bounds from the paper's theorems.
+
+These are the bands the benches check measured values against:
+
+* Theorem 8:   ``n log_phi n - c n <= M(n) <= n log_phi n`` with
+  ``c = phi^2 + 1``  (Eqs. (9)-(10)).
+* Theorem 13:  ``F(L, n) = n log_phi L + Theta(n)`` for ``n > L``.
+* Theorem 14:  batching alone costs ``n L``; merging wins by
+  ``Theta(L / log L)``.
+* Theorem 19:  ``M(n) / Mw(n) -> log_phi 2`` as ``n -> inf``.
+* Theorem 21:  ``A(L, n) <= n log_phi L + O(n + L log_phi L)``.
+* Theorem 22:  ``A(L, n) / F(L, n) <= 1 + 2 L / n`` for ``L >= 7`` and
+  ``n > L^2 + 2``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .fibonacci import PHI
+
+__all__ = [
+    "log_phi",
+    "RECEIVE_ALL_GAIN",
+    "merge_cost_upper",
+    "merge_cost_lower",
+    "full_cost_leading_term",
+    "batching_cost",
+    "batching_gain_order",
+    "online_ratio_bound",
+    "online_ratio_bound_applies",
+]
+
+#: ``log_phi 2`` — the asymptotic receive-two / receive-all cost ratio
+#: (Theorems 19 and 20), approximately 1.4404.
+RECEIVE_ALL_GAIN: float = math.log(2.0) / math.log(PHI)
+
+
+def log_phi(x: float) -> float:
+    """Logarithm base the golden ratio."""
+    if x <= 0:
+        raise ValueError(f"log_phi requires x > 0, got {x}")
+    return math.log(x) / math.log(PHI)
+
+
+def merge_cost_upper(n: int) -> float:
+    """Eq. (9): ``M(n) <= (log_phi n + 1) n - phi n + 2 <= n log_phi n``.
+
+    We return the tighter intermediate expression; for ``n >= 2`` it is also
+    ``<= n log_phi n`` because ``phi > 1``.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    return (log_phi(n) + 1) * n - PHI * n + 2 if n > 1 else 0.0
+
+
+def merge_cost_lower(n: int) -> float:
+    """Eq. (10): ``M(n) >= (log_phi n - 1) n - phi^2 n + 2``."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    return (log_phi(n) - 1) * n - PHI**2 * n + 2 if n > 1 else 0.0
+
+
+def full_cost_leading_term(L: int, n: int) -> float:
+    """``n log_phi L``: the Theorem 13 leading term of ``F(L, n)``."""
+    if L < 2:
+        return 0.0
+    return n * log_phi(L)
+
+
+def batching_cost(L: int, n: int) -> int:
+    """Cost of pure batching: one full stream per slot, ``n L`` units.
+
+    (Section 1/Theorem 14: in a delay-guaranteed batching system the whole
+    transmission is broadcast once per slot.)
+    """
+    return n * L
+
+
+def batching_gain_order(L: int) -> float:
+    """``L / log_phi L``: the Theorem 14 improvement order of merging."""
+    if L < 2:
+        return 1.0
+    return L / log_phi(L)
+
+
+def online_ratio_bound(L: int, n: int) -> float:
+    """Theorem 22 bound: ``1 + 2 L / n``."""
+    return 1.0 + 2.0 * L / n
+
+
+def online_ratio_bound_applies(L: int, n: int) -> bool:
+    """Hypotheses of Theorem 22: ``L >= 7`` and ``n > L^2 + 2``."""
+    return L >= 7 and n > L * L + 2

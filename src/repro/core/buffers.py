@@ -1,0 +1,149 @@
+"""Limited client buffers (Section 3.3).
+
+A client arriving at ``x`` in a tree rooted at ``r`` needs buffer space for
+
+    b(x) = min( x - r,  L - (x - r) )        (Lemma 15)
+
+parts of the stream: while it is receiving from two streams it accumulates
+one extra part per slot until it merges to the root at time ``2x - r``
+(first case), and a client far from the root simply holds the tail of the
+root stream (second case).  Clients therefore never need more than ``L/2``
+buffer.
+
+With a buffer bound ``B < L/2`` every arrival must sit within ``B`` slots of
+its root (arrivals are consecutive in the delay-guaranteed setting, so a
+tree spanning more than ``B`` would contain a violating arrival), forcing at
+least ``s0 = ceil(n / B)`` full streams.  Theorem 16: an optimal B-bounded
+forest is computable in O(B + n) by the Lemma 9 machinery with tree sizes
+capped at ``B + 1`` arrivals (span <= B).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .merge_tree import MergeForest, MergeTree
+from .offline import build_optimal_tree, merge_cost
+
+__all__ = [
+    "buffer_requirement",
+    "tree_buffer_requirements",
+    "max_buffer_requirement",
+    "bounded_full_cost_given_streams",
+    "optimal_bounded_full_cost",
+    "optimal_bounded_stream_count",
+    "build_optimal_bounded_forest",
+]
+
+
+def buffer_requirement(x: float, root: float, L: float) -> float:
+    """``b(x) = min(x - r, L - (x - r))`` (Lemma 15).  Requires ``x >= r``."""
+    if x < root:
+        raise ValueError(f"arrival {x} precedes root {root}")
+    gap = x - root
+    if gap > L - 1:
+        raise ValueError(
+            f"arrival {x} is {gap} > L-1 = {L - 1} after the root; it "
+            "cannot be served by this tree at all"
+        )
+    return min(gap, L - gap)
+
+
+def tree_buffer_requirements(tree: MergeTree, L: float) -> dict:
+    """Map every arrival in ``tree`` to its Lemma 15 buffer need."""
+    r = tree.root.arrival
+    return {a: buffer_requirement(a, r, L) for a in tree.arrivals()}
+
+
+def max_buffer_requirement(tree: MergeTree, L: float) -> float:
+    """Largest buffer any client of this tree needs."""
+    return max(tree_buffer_requirements(tree, L).values())
+
+
+def _check(L: int, n: int, B: int) -> None:
+    if L < 1:
+        raise ValueError(f"L must be >= 1, got {L}")
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if B < 1:
+        raise ValueError(f"buffer bound B must be >= 1, got {B}")
+    if 2 * B > L:
+        raise ValueError(
+            f"B = {B} > L/2 = {L / 2}; the bound never binds there "
+            "(clients need at most L/2 buffer) — use the unbounded solver"
+        )
+
+
+def bounded_full_cost_given_streams(L: int, n: int, B: int, s: int) -> int:
+    """Full cost with ``s`` streams when every tree spans at most ``B``.
+
+    Trees may hold at most ``B + 1`` consecutive arrivals (span ``<= B``).
+    Shape per the Lemma 9 balancing argument (inequality (12) holds for
+    sizes within the cap).
+    """
+    _check(L, n, B)
+    s_min = -(-n // (B + 1))
+    if not s_min <= s <= n:
+        raise ValueError(f"s = {s} outside [{s_min}, {n}] for n={n}, B={B}")
+    p, r = divmod(n, s)
+    if p + (1 if r else 0) > B + 1:
+        raise ValueError(f"internal: tree size exceeds B+1 with s={s}")
+    mp = 0 if p == 0 else merge_cost(p)
+    return s * L + (s - r) * mp + r * merge_cost(p + 1)
+
+
+def optimal_bounded_stream_count(L: int, n: int, B: int) -> int:
+    """Argmin ``s`` of the B-bounded full cost (smallest on ties).
+
+    Theorem 16's O(B + n) bound comes from only needing
+    ``M(1), ..., M(B+1)`` and scanning the feasible ``s`` range; we keep the
+    direct scan for clarity (still linear overall).
+    """
+    _check(L, n, B)
+    s_min = -(-n // (B + 1))
+    best_s, best = s_min, None
+    for s in range(s_min, n + 1):
+        cost = bounded_full_cost_given_streams(L, n, B, s)
+        if best is None or cost < best:
+            best_s, best = s, cost
+    return best_s
+
+
+def optimal_bounded_full_cost(L: int, n: int, B: int) -> int:
+    """Minimum full cost subject to client buffer bound ``B`` (Thm 16)."""
+    s = optimal_bounded_stream_count(L, n, B)
+    return bounded_full_cost_given_streams(L, n, B, s)
+
+
+def build_optimal_bounded_forest(
+    L: int, n: int, B: int, s: int | None = None
+) -> MergeForest:
+    """Optimal merge forest under buffer bound ``B`` (Theorem 16)."""
+    _check(L, n, B)
+    if s is None:
+        s = optimal_bounded_stream_count(L, n, B)
+    p, r = divmod(n, s)
+    trees: List[MergeTree] = []
+    offset = 0
+    for _ in range(r):
+        trees.append(build_optimal_tree(p + 1, start=offset))
+        offset += p + 1
+    for _ in range(s - r):
+        trees.append(build_optimal_tree(p, start=offset))
+        offset += p
+    forest = MergeForest(trees)
+    # Feasibility: every tree spans at most B.
+    for tree in forest:
+        if tree.span() > B:
+            raise AssertionError("constructed tree violates the buffer bound")
+    return forest
+
+
+def verify_buffer_bound(forest: MergeForest, L: float, B: float) -> Tuple[bool, List]:
+    """Check Lemma 15 across a forest: returns (ok, violations)."""
+    violations = []
+    for tree in forest:
+        for arrival, need in tree_buffer_requirements(tree, L).items():
+            if need > B:
+                violations.append((arrival, need))
+    return (not violations), violations

@@ -1,0 +1,194 @@
+"""Optimal full cost and merge-forest construction (Section 3.2).
+
+The full cost charges each of the ``s`` full streams (roots) ``L`` units and
+adds the merge costs of the trees.  Lemma 9 pins the optimal shape for a
+fixed ``s``: with ``n = p s + r`` (``0 <= r < s``) the forest uses ``r``
+trees of ``p + 1`` arrivals followed by ``s - r`` trees of ``p`` arrivals,
+
+    F(L, n, s) = s L + r M(p+1) + (s - r) M(p).
+
+Theorem 12 then gives the optimal number of streams directly: with ``h``
+such that ``F_{h+1} < L + 2 <= F_{h+2}`` and ``s1 = floor(n / F_h)``, the
+minimum of ``F(L, n, s)`` over the feasible range ``ceil(n/L) <= s <= n`` is
+attained at ``s1`` or ``s1 + 1``.  This module implements the formula, the
+two-candidate minimiser, a brute-force minimiser (used by tests and by the
+ablation bench), and the O(L + n) forest constructor of Theorem 10.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from .fibonacci import fib, tree_size_index
+from .merge_tree import MergeForest, MergeTree
+from .offline import build_optimal_tree, merge_cost
+
+__all__ = [
+    "full_cost_given_streams",
+    "optimal_stream_count",
+    "optimal_full_cost",
+    "brute_force_stream_count",
+    "build_optimal_forest",
+    "FullCostBreakdown",
+    "full_cost_breakdown",
+]
+
+
+def _check_args(L: int, n: int) -> None:
+    if L < 1:
+        raise ValueError(f"stream length L must be >= 1, got {L}")
+    if n < 1:
+        raise ValueError(f"number of arrivals n must be >= 1, got {n}")
+
+
+def min_streams(L: int, n: int) -> int:
+    """``s0 = ceil(n / L)``: fewest full streams that can serve n arrivals.
+
+    At most ``L - 1`` later streams can merge with a full stream of length
+    ``L`` (plus the root itself => L arrivals per tree).
+    """
+    _check_args(L, n)
+    return -(-n // L)
+
+
+def full_cost_given_streams(L: int, n: int, s: int) -> int:
+    """``F(L, n, s)`` by Lemma 9.  Requires ``ceil(n/L) <= s <= n``."""
+    _check_args(L, n)
+    if not min_streams(L, n) <= s <= n:
+        raise ValueError(
+            f"s = {s} outside feasible range "
+            f"[{min_streams(L, n)}, {n}] for L={L}, n={n}"
+        )
+    p, r = divmod(n, s)
+    cost = s * L + (s - r) * merge_cost_or_zero(p) + r * merge_cost(p + 1)
+    return cost
+
+
+def merge_cost_or_zero(p: int) -> int:
+    """``M(p)`` with the convention ``M(0) = 0`` (empty tree).
+
+    ``p = 0`` only arises when ``s > n`` is probed, which the public entry
+    points forbid, but the helper keeps internal sweeps total.
+    """
+    return 0 if p == 0 else merge_cost(p)
+
+
+def optimal_stream_count(L: int, n: int) -> int:
+    """The optimal number of full streams via Theorem 12 (O(log) time).
+
+    Computes ``h`` with ``F_{h+1} < L + 2 <= F_{h+2}`` and ``s1 = n // F_h``;
+    the optimum is ``s1`` or ``s1 + 1`` (or forced up to ``s0`` when
+    ``s0 = s1 + 1``).  Ties prefer the smaller count.
+    """
+    _check_args(L, n)
+    h = tree_size_index(L)
+    s1 = n // fib(h)
+    s0 = min_streams(L, n)
+    if s0 > s1:
+        # Theorem 12: then s0 == s1 + 1 and it is optimal.
+        return s0
+    if s1 == 0:
+        # n < F_h: a single full stream covers everything.
+        return 1
+    if s1 + 1 > n:
+        return s1
+    f1 = full_cost_given_streams(L, n, s1)
+    f2 = full_cost_given_streams(L, n, s1 + 1)
+    return s1 if f1 <= f2 else s1 + 1
+
+
+def optimal_full_cost(L: int, n: int) -> int:
+    """``F(L, n)``: minimum full cost over all stream counts (Theorem 12)."""
+    return full_cost_given_streams(L, n, optimal_stream_count(L, n))
+
+
+def brute_force_stream_count(L: int, n: int) -> Tuple[int, int]:
+    """``(s*, F(L,n))`` by scanning every feasible ``s`` (test oracle).
+
+    O(n log n) — used to validate Theorem 12 and by the ablation bench.
+    Ties prefer the smaller count, matching :func:`optimal_stream_count`.
+    """
+    _check_args(L, n)
+    best_s, best_cost = -1, math.inf
+    for s in range(min_streams(L, n), n + 1):
+        cost = full_cost_given_streams(L, n, s)
+        if cost < best_cost:
+            best_s, best_cost = s, cost
+    return best_s, int(best_cost)
+
+
+def build_optimal_forest(L: int, n: int, s: int | None = None) -> MergeForest:
+    """Construct an optimal merge forest for ``[0, n-1]`` (Theorem 10).
+
+    If ``s`` is None the Theorem 12 optimal count is used.  Placement per
+    Lemma 9: ``r`` trees of ``p+1`` arrivals at
+    ``0, p+1, 2(p+1), ...`` then ``s - r`` trees of ``p`` arrivals.
+    Total O(L + n) work.
+    """
+    _check_args(L, n)
+    if s is None:
+        s = optimal_stream_count(L, n)
+    if not min_streams(L, n) <= s <= n:
+        raise ValueError(f"infeasible stream count s={s} for L={L}, n={n}")
+    p, r = divmod(n, s)
+    trees: List[MergeTree] = []
+    offset = 0
+    for _ in range(r):
+        trees.append(build_optimal_tree(p + 1, start=offset))
+        offset += p + 1
+    for _ in range(s - r):
+        trees.append(build_optimal_tree(p, start=offset))
+        offset += p
+    forest = MergeForest(trees)
+    forest.validate_for_length(L)
+    return forest
+
+
+@dataclass(frozen=True)
+class FullCostBreakdown:
+    """Full-cost accounting for reporting (used by experiments/benches)."""
+
+    L: int
+    n: int
+    streams: int
+    tree_sizes: Tuple[int, ...]
+    root_cost: int
+    merge_cost: int
+
+    @property
+    def total(self) -> int:
+        return self.root_cost + self.merge_cost
+
+    @property
+    def average_bandwidth(self) -> float:
+        """Average server bandwidth: ``Fcost / n`` (Section 2)."""
+        return self.total / self.n
+
+    @property
+    def streams_served(self) -> float:
+        """Bandwidth in units of complete media streams: ``Fcost / L``.
+
+        This is the y-axis of Fig. 1 ("total number of complete media
+        streams served").
+        """
+        return self.total / self.L
+
+
+def full_cost_breakdown(L: int, n: int, s: int | None = None) -> FullCostBreakdown:
+    """Breakdown of ``F(L, n, s)`` (optimal ``s`` when omitted)."""
+    _check_args(L, n)
+    if s is None:
+        s = optimal_stream_count(L, n)
+    p, r = divmod(n, s)
+    sizes = tuple([p + 1] * r + [p] * (s - r))
+    mcost = (s - r) * merge_cost_or_zero(p) + r * merge_cost(p + 1)
+    return FullCostBreakdown(
+        L=L,
+        n=n,
+        streams=s,
+        tree_sizes=sizes,
+        root_cost=s * L,
+        merge_cost=mcost,
+    )

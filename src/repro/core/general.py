@@ -1,0 +1,154 @@
+"""Optimal stream merging for *general* (non-uniform) arrival times.
+
+The delay-guaranteed setting of the paper is the special case of one
+arrival per slot; the general case — arbitrary strictly-increasing arrival
+times, e.g. the ends of the non-empty slots of a sparse workload — is
+solved by the dynamic program of Bar-Noy & Ladner [6], which this module
+implements with full tree reconstruction:
+
+    cost(i, j) = min_{i < h <= j} cost(i, h-1) + cost(h, j)
+                                  + (2 t_j - t_h - t_i)
+
+(Lemma 2 with real arrival times: ``x = t_h`` is the last stream to merge
+into the root ``t_i`` and ``z = t_j`` the last arrival).  The table is
+O(n^2) space and the evaluation O(n^3) time — this is the *reference*
+optimum used to score on-line heuristics (dyadic, hybrid) on irregular
+traces; the paper's O(n) algorithm covers the uniform case.
+
+Roots are placed by a second DP over prefixes:
+
+    best(j) = min_{i <= j} best(i - 1) + L + cost(i, j)   (t_i a root)
+
+subject to the span constraint ``t_j - t_i <= L - 1`` so every client can
+still merge into the root's full stream.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from .merge_tree import MergeForest, MergeNode, MergeTree
+
+__all__ = [
+    "optimal_merge_tree_general",
+    "optimal_merge_cost_general",
+    "optimal_forest_general",
+    "optimal_full_cost_general",
+]
+
+
+def _check_times(ts: Sequence[float]) -> None:
+    if any(b <= a for a, b in zip(ts, ts[1:])):
+        raise ValueError("arrival times must be strictly increasing")
+
+
+def _merge_tables(ts: Sequence[float]) -> Tuple[List[List[float]], List[List[int]]]:
+    """DP tables: cost[i][j] and the (largest) argmin split h for i..j."""
+    n = len(ts)
+    cost = [[0.0] * n for _ in range(n)]
+    split = [[0] * n for _ in range(n)]
+    for width in range(1, n):
+        for i in range(0, n - width):
+            j = i + width
+            best, best_h = None, -1
+            for h in range(i + 1, j + 1):
+                c = cost[i][h - 1] + cost[h][j] + (2 * ts[j] - ts[h] - ts[i])
+                if best is None or c <= best:  # <=: prefer the largest h
+                    best, best_h = c, h
+            cost[i][j] = best
+            split[i][j] = best_h
+    return cost, split
+
+
+def _reconstruct(
+    ts: Sequence[float], split: List[List[int]], i: int, j: int
+) -> MergeNode:
+    """Tree for arrivals i..j rooted at i: the i..h-1 tree plus the h..j
+    tree attached as a new last root child (Lemma 2 in reverse)."""
+    if i == j:
+        return MergeNode(ts[i])
+    h = split[i][j]
+    node = _reconstruct(ts, split, i, h - 1)
+    right = _reconstruct(ts, split, h, j)
+    right.parent = node
+    node.children.append(right)
+    return node
+
+
+def optimal_merge_tree_general(arrivals: Sequence[float]) -> MergeTree:
+    """An optimal merge tree over arbitrary arrival times (O(n^3)).
+
+    All arrivals merge (transitively) into the first one; use
+    :func:`optimal_forest_general` when full-stream placement matters.
+    """
+    ts = list(arrivals)
+    if not ts:
+        raise ValueError("need at least one arrival")
+    _check_times(ts)
+    _cost, split = _merge_tables(ts)
+    tree = MergeTree(_reconstruct(ts, split, 0, len(ts) - 1))
+    return tree
+
+
+def optimal_merge_cost_general(arrivals: Sequence[float]) -> float:
+    """Optimal merge cost (root excluded) for arbitrary arrivals."""
+    ts = list(arrivals)
+    if not ts:
+        return 0
+    _check_times(ts)
+    cost, _split = _merge_tables(ts)
+    value = cost[0][len(ts) - 1]
+    return int(value) if float(value).is_integer() else value
+
+
+def optimal_forest_general(arrivals: Sequence[float], L: float) -> MergeForest:
+    """Optimal merge forest (roots included) for arbitrary arrivals.
+
+    Minimises ``s * L + sum of merge costs`` with the feasibility
+    constraint that each tree spans at most ``L - 1``.  O(n^3) total.
+    """
+    ts = list(arrivals)
+    if not ts:
+        raise ValueError("need at least one arrival")
+    _check_times(ts)
+    if L < 1:
+        raise ValueError(f"L must be >= 1, got {L}")
+    n = len(ts)
+    cost, split = _merge_tables(ts)
+
+    INF = float("inf")
+    best = [0.0] * (n + 1)  # best[j]: optimal cost of serving ts[:j]
+    choice: List[int] = [0] * (n + 1)  # root index for the last tree
+    for j in range(1, n + 1):
+        best_val, best_i = INF, -1
+        for i in range(j - 1, -1, -1):
+            if ts[j - 1] - ts[i] > L - 1:
+                break  # spans only grow as i decreases
+            c = best[i] + L + cost[i][j - 1]
+            if c < best_val:
+                best_val, best_i = c, i
+        if best_i < 0:
+            raise ValueError(
+                f"no feasible forest: gap before arrival {ts[j - 1]} "
+                f"exceeds L - 1 = {L - 1}"
+            )
+        best[j] = best_val
+        choice[j] = best_i
+    # Walk the choices back into tree boundaries.
+    bounds: List[Tuple[int, int]] = []
+    j = n
+    while j > 0:
+        i = choice[j]
+        bounds.append((i, j - 1))
+        j = i
+    bounds.reverse()
+    trees = [MergeTree(_reconstruct(ts, split, i, j)) for i, j in bounds]
+    forest = MergeForest(trees)
+    forest.validate_for_length(L)
+    return forest
+
+
+def optimal_full_cost_general(arrivals: Sequence[float], L: float) -> float:
+    """Minimum total bandwidth for arbitrary arrivals (roots included)."""
+    forest = optimal_forest_general(arrivals, L)
+    return forest.full_cost(L)

@@ -1,0 +1,460 @@
+"""Merge trees and merge forests (Section 2 of the paper).
+
+A *merge tree* is an ordered labelled tree whose node labels are arrival
+times.  The root is the earliest arrival; a non-root node labelled ``i`` has
+a parent labelled ``j < i``, and siblings are ordered by label.  A tree has
+the *preorder traversal property* when a preorder walk yields the arrival
+times in sorted order; every optimal merge tree has this property
+(imported from [6]) and every tree this module constructs maintains it.
+
+Node stream lengths (the bandwidth the server spends on the stream started
+at that node):
+
+* receive-two model (Lemma 1):  ``l(x) = 2 z(x) - x - p(x)`` for non-roots,
+  where ``z(x)`` is the last arrival in the subtree of ``x``;
+* receive-all model (Lemma 17): ``w(x) = z(x) - p(x)``.
+
+Roots always carry a full stream of length ``L``.  ``Mcost`` sums non-root
+lengths over a tree; ``Fcost`` of a forest is ``s*L`` plus the trees' merge
+costs.  Arrival labels may be arbitrary reals (the general-arrivals case of
+[6]); the delay-guaranteed case uses consecutive integers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "MergeNode",
+    "MergeTree",
+    "MergeForest",
+    "tree_from_parent_map",
+    "chain_tree",
+    "star_tree",
+]
+
+
+@dataclass
+class MergeNode:
+    """One node of a merge tree: an arrival time and its ordered children."""
+
+    arrival: float
+    children: List["MergeNode"] = field(default_factory=list)
+    parent: Optional["MergeNode"] = None
+
+    def add_child(self, child: "MergeNode") -> None:
+        """Attach ``child`` as the new last child (must be a later arrival)."""
+        if child.arrival <= self.arrival:
+            raise ValueError(
+                f"child arrival {child.arrival} must exceed parent "
+                f"arrival {self.arrival}"
+            )
+        if self.children and child.arrival <= self.children[-1].arrival:
+            raise ValueError(
+                f"children must be attached in increasing arrival order: "
+                f"{child.arrival} after {self.children[-1].arrival}"
+            )
+        child.parent = self
+        self.children.append(child)
+
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def preorder(self) -> Iterator["MergeNode"]:
+        """Yield this node then all descendants in preorder."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def last_descendant(self) -> "MergeNode":
+        """Return ``z(x)``: the node of the latest arrival in the subtree.
+
+        With the preorder property this is simply the right-most path's end.
+        """
+        node = self
+        while node.children:
+            node = node.children[-1]
+        return node
+
+    def depth(self) -> int:
+        """Number of edges from this node up to its tree's root."""
+        d = 0
+        node = self
+        while node.parent is not None:
+            node = node.parent
+            d += 1
+        return d
+
+    def path_from_root(self) -> List["MergeNode"]:
+        """Return ``[x_0, x_1, ..., x_k]`` with ``x_0`` the root, ``x_k`` self."""
+        path = []
+        node: Optional[MergeNode] = self
+        while node is not None:
+            path.append(node)
+            node = node.parent
+        path.reverse()
+        return path
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MergeNode({self.arrival!r}, children={len(self.children)})"
+
+
+class MergeTree:
+    """A merge tree over a set of arrivals, rooted at the earliest one.
+
+    The class maintains an arrival -> node index and checks the merge-tree
+    ordering constraints on construction.  It does *not* require the preorder
+    traversal property (arbitrary feasible trees are representable so the DP
+    and enumeration code can explore them), but exposes a check for it.
+    """
+
+    def __init__(self, root: MergeNode):
+        self.root = root
+        self._index: Dict[float, MergeNode] = {}
+        for node in root.preorder():
+            if node.arrival in self._index:
+                raise ValueError(f"duplicate arrival label {node.arrival}")
+            self._index[node.arrival] = node
+        self._validate_ordering()
+
+    # -- construction helpers ------------------------------------------------
+
+    @staticmethod
+    def single(arrival: float) -> "MergeTree":
+        """A one-node tree (a stream with no merges hanging off it)."""
+        return MergeTree(MergeNode(arrival))
+
+    def _validate_ordering(self) -> None:
+        for node in self.root.preorder():
+            for a, b in zip(node.children, node.children[1:]):
+                if a.arrival >= b.arrival:
+                    raise ValueError(
+                        f"siblings out of order under {node.arrival}: "
+                        f"{a.arrival} >= {b.arrival}"
+                    )
+            for child in node.children:
+                if child.arrival <= node.arrival:
+                    raise ValueError(
+                        f"child {child.arrival} not after parent {node.arrival}"
+                    )
+
+    # -- basic queries ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __contains__(self, arrival: float) -> bool:
+        return arrival in self._index
+
+    def node(self, arrival: float) -> MergeNode:
+        return self._index[arrival]
+
+    def arrivals(self) -> List[float]:
+        """All arrival labels in sorted order."""
+        return sorted(self._index)
+
+    def preorder_arrivals(self) -> List[float]:
+        return [node.arrival for node in self.root.preorder()]
+
+    def has_preorder_property(self) -> bool:
+        """True iff a preorder walk yields arrivals in increasing order."""
+        walk = self.preorder_arrivals()
+        return all(a < b for a, b in zip(walk, walk[1:]))
+
+    def last_arrival(self) -> float:
+        """``z`` of the whole tree: the latest arrival."""
+        return max(self._index)
+
+    def span(self) -> float:
+        """``z - r``: time between first and last arrival in the tree."""
+        return self.last_arrival() - self.root.arrival
+
+    # -- stream lengths and costs ----------------------------------------------
+
+    def z(self, arrival: float) -> float:
+        """Latest arrival in the subtree rooted at ``arrival``."""
+        return self.node(arrival).last_descendant().arrival
+
+    def length(self, arrival: float) -> float:
+        """Receive-two stream length ``l(x) = 2 z(x) - x - p(x)`` (Lemma 1).
+
+        Only defined for non-root nodes; the root's stream is a full stream
+        whose length ``L`` is a property of the media, not of the tree.
+        """
+        node = self.node(arrival)
+        if node.parent is None:
+            raise ValueError("root stream length is L (full stream), not l(x)")
+        return 2 * node.last_descendant().arrival - node.arrival - node.parent.arrival
+
+    def length_receive_all(self, arrival: float) -> float:
+        """Receive-all stream length ``w(x) = z(x) - p(x)`` (Lemma 17)."""
+        node = self.node(arrival)
+        if node.parent is None:
+            raise ValueError("root stream length is L (full stream), not w(x)")
+        return node.last_descendant().arrival - node.parent.arrival
+
+    def merge_cost(self) -> float:
+        """``Mcost(T)``: sum of receive-two lengths over non-root nodes."""
+        total = 0.0
+        for node in self.root.preorder():
+            if node.parent is not None:
+                total += (
+                    2 * node.last_descendant().arrival
+                    - node.arrival
+                    - node.parent.arrival
+                )
+        return _as_int_if_exact(total)
+
+    def merge_cost_receive_all(self) -> float:
+        """``Mcost_w(T)``: sum of receive-all lengths over non-root nodes."""
+        total = 0.0
+        for node in self.root.preorder():
+            if node.parent is not None:
+                total += node.last_descendant().arrival - node.parent.arrival
+        return _as_int_if_exact(total)
+
+    # -- structure (Lemma 2 / Fig. 5) -------------------------------------------
+
+    def last_root_child(self) -> Optional[MergeNode]:
+        """The last stream to merge directly with the root, or None."""
+        if not self.root.children:
+            return None
+        return self.root.children[-1]
+
+    def split_last_root_child(self) -> Tuple["MergeTree", "MergeTree"]:
+        """Split per Lemma 2: ``T'`` (arrivals before x, incl. root) and ``T''``.
+
+        ``x`` is the last child of the root; ``T''`` is the subtree rooted at
+        ``x`` and ``T'`` is the rest.  The originals are deep-copied so the
+        input tree is left untouched.
+        """
+        x = self.last_root_child()
+        if x is None:
+            raise ValueError("tree has a bare root; nothing to split")
+        t_double = MergeTree(_copy_subtree(x))
+        prime_root = _copy_subtree(self.root, skip=x)
+        t_prime = MergeTree(prime_root)
+        return t_prime, t_double
+
+    def attach(self, other: "MergeTree") -> "MergeTree":
+        """Return a new tree with ``other``'s root as a new last root child.
+
+        This is the inverse of :meth:`split_last_root_child` and the step the
+        O(n) constructor of Theorem 7 uses.
+        """
+        merged_root = _copy_subtree(self.root)
+        new_child = _copy_subtree(other.root)
+        merged_root.children.append(new_child)
+        new_child.parent = merged_root
+        return MergeTree(merged_root)
+
+    # -- misc --------------------------------------------------------------------
+
+    def parent_map(self) -> Dict[float, Optional[float]]:
+        """Map arrival -> parent arrival (root maps to None)."""
+        return {
+            node.arrival: (node.parent.arrival if node.parent else None)
+            for node in self.root.preorder()
+        }
+
+    def canonical(self) -> Tuple:
+        """A hashable structural fingerprint (nested tuples of labels)."""
+
+        def rec(node: MergeNode) -> Tuple:
+            return (node.arrival, tuple(rec(c) for c in node.children))
+
+        return rec(self.root)
+
+    def render(self, unit: str = "") -> str:
+        """ASCII rendering of the tree (labels, one node per line)."""
+        lines: List[str] = []
+
+        def rec(node: MergeNode, prefix: str, is_last: bool) -> None:
+            connector = "" if node.parent is None else ("`-- " if is_last else "|-- ")
+            lines.append(f"{prefix}{connector}{node.arrival}{unit}")
+            child_prefix = prefix + (
+                "" if node.parent is None else ("    " if is_last else "|   ")
+            )
+            for i, child in enumerate(node.children):
+                rec(child, child_prefix, i == len(node.children) - 1)
+
+        rec(self.root, "", True)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MergeTree(root={self.root.arrival}, n={len(self)})"
+
+
+def _copy_subtree(node: MergeNode, skip: Optional[MergeNode] = None) -> MergeNode:
+    copy = MergeNode(node.arrival)
+    for child in node.children:
+        if child is skip:
+            continue
+        child_copy = _copy_subtree(child, skip=skip)
+        child_copy.parent = copy
+        copy.children.append(child_copy)
+    return copy
+
+
+class MergeForest:
+    """An ordered sequence of merge trees covering an arrival sequence.
+
+    All arrivals in one tree must precede all arrivals in the next tree,
+    which the constructor enforces.  ``Fcost`` (Section 2) charges each root
+    a full stream of length ``L`` plus each tree's merge cost.
+    """
+
+    def __init__(self, trees: Sequence[MergeTree]):
+        if not trees:
+            raise ValueError("a merge forest needs at least one tree")
+        self.trees: List[MergeTree] = list(trees)
+        for a, b in zip(self.trees, self.trees[1:]):
+            if a.last_arrival() >= b.root.arrival:
+                raise ValueError(
+                    f"tree boundaries overlap: {a.last_arrival()} >= "
+                    f"{b.root.arrival}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.trees)
+
+    def __iter__(self) -> Iterator[MergeTree]:
+        return iter(self.trees)
+
+    def num_arrivals(self) -> int:
+        return sum(len(t) for t in self.trees)
+
+    def arrivals(self) -> List[float]:
+        out: List[float] = []
+        for tree in self.trees:
+            out.extend(tree.arrivals())
+        return out
+
+    def roots(self) -> List[float]:
+        return [t.root.arrival for t in self.trees]
+
+    def merge_cost(self) -> float:
+        return _as_int_if_exact(sum(t.merge_cost() for t in self.trees))
+
+    def merge_cost_receive_all(self) -> float:
+        return _as_int_if_exact(
+            sum(t.merge_cost_receive_all() for t in self.trees)
+        )
+
+    def full_cost(self, L: float) -> float:
+        """``Fcost(F) = s*L + sum Mcost(T_i)`` in the receive-two model."""
+        self.validate_for_length(L)
+        return _as_int_if_exact(len(self.trees) * L + self.merge_cost())
+
+    def full_cost_receive_all(self, L: float) -> float:
+        """``Fcost_w(F)`` in the receive-all model."""
+        self.validate_for_length(L, receive_all=True)
+        return _as_int_if_exact(
+            len(self.trees) * L + self.merge_cost_receive_all()
+        )
+
+    def validate_for_length(self, L: float, receive_all: bool = False) -> None:
+        """Check every tree fits a full stream of ``L`` units.
+
+        Receive-two requires ``z - r <= L - 1`` (Section 2: otherwise the
+        clients at ``z`` cannot finish receiving from the root).  Receive-all
+        only requires that arrival ``z`` happens while the root stream is
+        still running, i.e. ``z - r <= L - 1`` as well (a client as far as
+        ``L - 1`` from the root can still catch part ``L``).
+        """
+        del receive_all  # same bound in both models; kept for call-site clarity
+        for tree in self.trees:
+            if tree.span() > L - 1:
+                raise ValueError(
+                    f"tree rooted at {tree.root.arrival} spans "
+                    f"{tree.span()} > L-1 = {L - 1}; the last arrival "
+                    "cannot merge in time"
+                )
+
+    def find(self, arrival: float) -> Tuple[MergeTree, MergeNode]:
+        """Locate the tree and node serving a given arrival."""
+        for tree in self.trees:
+            if arrival in tree:
+                return tree, tree.node(arrival)
+        raise KeyError(f"arrival {arrival} not in forest")
+
+    def stream_lengths(self, L: float) -> Dict[float, float]:
+        """Map every arrival to the length of the stream it initiates."""
+        out: Dict[float, float] = {}
+        for tree in self.trees:
+            for node in tree.root.preorder():
+                if node.parent is None:
+                    out[node.arrival] = L
+                else:
+                    out[node.arrival] = (
+                        2 * node.last_descendant().arrival
+                        - node.arrival
+                        - node.parent.arrival
+                    )
+        return out
+
+    def render(self) -> str:
+        return "\n".join(t.render() for t in self.trees)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MergeForest(trees={len(self.trees)}, n={self.num_arrivals()})"
+
+
+def _as_int_if_exact(x: float) -> float:
+    """Collapse floats like 21.0 to int 21 for exact integer arithmetic."""
+    if isinstance(x, int):
+        return x
+    if isinstance(x, float) and x.is_integer():
+        return int(x)
+    return x
+
+
+def tree_from_parent_map(
+    parents: Dict[float, Optional[float]],
+) -> MergeTree:
+    """Build a MergeTree from an ``arrival -> parent arrival`` mapping.
+
+    Exactly one arrival must map to ``None`` (the root).  Children are
+    attached in increasing arrival order, so the result is a well-formed
+    ordered tree.
+    """
+    roots = [a for a, p in parents.items() if p is None]
+    if len(roots) != 1:
+        raise ValueError(f"need exactly one root, got {roots}")
+    nodes = {a: MergeNode(a) for a in parents}
+    for arrival in sorted(parents):
+        parent = parents[arrival]
+        if parent is None:
+            continue
+        if parent not in nodes:
+            raise ValueError(f"parent {parent} of {arrival} not an arrival")
+        nodes[parent].add_child(nodes[arrival])
+    return MergeTree(nodes[roots[0]])
+
+
+def chain_tree(arrivals: Sequence[float]) -> MergeTree:
+    """Each arrival merges to the immediately preceding one (a path)."""
+    ordered = sorted(arrivals)
+    if not ordered:
+        raise ValueError("chain_tree needs at least one arrival")
+    root = MergeNode(ordered[0])
+    node = root
+    for arrival in ordered[1:]:
+        child = MergeNode(arrival)
+        node.add_child(child)
+        node = child
+    return MergeTree(root)
+
+
+def star_tree(arrivals: Sequence[float]) -> MergeTree:
+    """Every later arrival merges directly to the first (a star)."""
+    ordered = sorted(arrivals)
+    if not ordered:
+        raise ValueError("star_tree needs at least one arrival")
+    root = MergeNode(ordered[0])
+    for arrival in ordered[1:]:
+        root.add_child(MergeNode(arrival))
+    return MergeTree(root)

@@ -1,0 +1,223 @@
+"""The on-line Delay Guaranteed algorithm (Section 4).
+
+The on-line algorithm does not know the time horizon ``n``.  It statically
+picks the merge-tree size ``F_h`` where ``F_{h+1} < L + 2 <= F_{h+2}``
+(mirroring what Theorem 12 says the off-line optimum does) and simply stamps
+out the optimal (Fibonacci) merge tree for ``F_h`` arrivals over and over:
+full streams start at times ``0, F_h, 2 F_h, ...`` and the stream started at
+slot ``t`` plays the role of node ``t mod F_h`` of the precomputed tree.
+
+Because every decision is static the server can precompute all receiving
+programs in O(L) time and answer each client in O(1) — no on-line decisions
+at all, which is the algorithm's selling point over dyadic merging.
+
+Costs: the last (possibly partial) tree is the *prefix* of the Fibonacci
+tree induced by the remaining arrivals (prefixes of a preorder traversal are
+parent-closed, hence valid merge trees), and stream lengths adapt to the
+arrivals actually present — exactly what a real server does when no client
+needs the stream any more.  ``A(L, n)`` denotes the resulting full cost;
+Theorem 21 shows ``A(L, n) <= n log_phi L + O(n + L log_phi L)`` and
+Theorem 22 that ``A(L, n) / F(L, n) <= 1 + 2L/n`` for ``L >= 7`` and
+``n > L^2 + 2``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+from .fibonacci import fib, tree_size_index
+from .merge_tree import MergeForest, MergeNode, MergeTree
+from .offline import build_optimal_tree
+from .full_cost import optimal_full_cost
+
+__all__ = [
+    "online_tree_size",
+    "prefix_tree",
+    "shift_tree",
+    "build_online_forest",
+    "online_full_cost",
+    "online_over_optimal_ratio",
+    "OnlineScheduler",
+    "StreamOrder",
+]
+
+
+def online_tree_size(L: int) -> int:
+    """The static tree size ``F_h`` with ``F_{h+1} < L + 2 <= F_{h+2}``."""
+    return fib(tree_size_index(L))
+
+
+def prefix_tree(tree: MergeTree, count: int) -> MergeTree:
+    """The sub-merge-tree induced by the first ``count`` preorder arrivals.
+
+    For trees with the preorder property the first ``count`` arrivals in
+    time are exactly the first ``count`` preorder nodes, and a preorder
+    prefix is parent-closed, so the result is a valid merge tree over the
+    earliest ``count`` arrivals.
+    """
+    if not 1 <= count <= len(tree):
+        raise ValueError(f"count {count} outside 1..{len(tree)}")
+    if not tree.has_preorder_property():
+        raise ValueError("prefix_tree requires the preorder property")
+    keep = set(tree.preorder_arrivals()[:count])
+
+    def rec(node: MergeNode) -> MergeNode:
+        copy = MergeNode(node.arrival)
+        for child in node.children:
+            if child.arrival in keep:
+                cc = rec(child)
+                cc.parent = copy
+                copy.children.append(cc)
+        return copy
+
+    return MergeTree(rec(tree.root))
+
+
+def build_online_forest(L: int, n: int, tree_size: Optional[int] = None) -> MergeForest:
+    """The forest the on-line DG algorithm produces over ``n`` slots.
+
+    Full trees of ``F_h`` arrivals at offsets ``0, F_h, 2 F_h, ...``; the
+    final tree is the prefix of the Fibonacci tree on the leftover arrivals.
+    ``tree_size`` overrides the static size (used by the tree-size ablation;
+    the default ``F_h`` is the paper's choice).
+    """
+    if L < 1 or n < 1:
+        raise ValueError(f"need L >= 1 and n >= 1, got L={L}, n={n}")
+    size = online_tree_size(L) if tree_size is None else tree_size
+    # a tree of `size` consecutive arrivals spans size - 1 <= L - 1 slots
+    if not 1 <= size <= L:
+        raise ValueError(f"tree size {size} infeasible for L={L}")
+    template = build_optimal_tree(size)
+    trees: List[MergeTree] = []
+    offset = 0
+    while offset < n:
+        remaining = n - offset
+        if remaining >= size:
+            trees.append(build_optimal_tree(size, start=offset))
+            offset += size
+        else:
+            partial = prefix_tree(template, remaining)
+            trees.append(shift_tree(partial, offset))
+            offset = n
+    forest = MergeForest(trees)
+    forest.validate_for_length(L)
+    return forest
+
+
+def shift_tree(tree: MergeTree, delta: float) -> MergeTree:
+    """Copy of ``tree`` with every label shifted by ``delta``."""
+    def rec(node: MergeNode) -> MergeNode:
+        copy = MergeNode(node.arrival + delta)
+        for child in node.children:
+            cc = rec(child)
+            cc.parent = copy
+            copy.children.append(cc)
+        return copy
+
+    return MergeTree(rec(tree.root))
+
+
+def online_full_cost(L: int, n: int, tree_size: Optional[int] = None) -> int:
+    """``A(L, n)``: total bandwidth of the on-line DG algorithm.
+
+    ``tree_size`` overrides the static ``F_h`` choice (ablation use).
+    """
+    return int(build_online_forest(L, n, tree_size=tree_size).full_cost(L))
+
+
+def online_over_optimal_ratio(L: int, n: int) -> float:
+    """``A(L, n) / F(L, n)`` — the Fig. 9 series; -> 1 as n grows (Thm 22)."""
+    return online_full_cost(L, n) / optimal_full_cost(L, n)
+
+
+# ---------------------------------------------------------------------------
+# Incremental scheduler: the server-side view
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StreamOrder:
+    """An instruction the scheduler emits at a slot boundary.
+
+    ``start``: begin multicasting the media from part 1 at time ``slot``.
+    ``length`` is the number of slots the stream must run *if the horizon
+    ends at the current tree's last possible arrival*; a real server keeps
+    the stream until its subtree's last actual client merges away.  The
+    scheduler also reports ``receiving_parent``: the earlier stream this one
+    will merge into (None for full streams).
+    """
+
+    slot: int
+    tree_index: int
+    node_in_tree: int
+    is_root: bool
+    parent_slot: Optional[int]
+    planned_length: int
+
+
+class OnlineScheduler:
+    """Slot-by-slot emitter of the DG algorithm's stream orders.
+
+    The constructor precomputes the Fibonacci template tree once (O(L));
+    :meth:`order_for_slot` is then an O(1) table lookup, matching the
+    paper's complexity argument ("the server can precompute receiving
+    programs and use a look-up table ... O(1) amortised time").
+    """
+
+    def __init__(self, L: int):
+        if L < 1:
+            raise ValueError(f"L must be >= 1, got {L}")
+        self.L = L
+        self.size = online_tree_size(L)
+        self.template = build_optimal_tree(self.size)
+        # Lookup tables indexed by node label (0..size-1 within a tree).
+        self._parent: Dict[int, Optional[int]] = {}
+        self._planned_length: Dict[int, int] = {}
+        for node in self.template.root.preorder():
+            label = int(node.arrival)
+            if node.parent is None:
+                self._parent[label] = None
+                self._planned_length[label] = L
+            else:
+                self._parent[label] = int(node.parent.arrival)
+                self._planned_length[label] = int(
+                    2 * node.last_descendant().arrival
+                    - node.arrival
+                    - node.parent.arrival
+                )
+
+    def order_for_slot(self, slot: int) -> StreamOrder:
+        """The stream order for the slot ending at integer time ``slot``."""
+        if slot < 0:
+            raise ValueError(f"slot must be >= 0, got {slot}")
+        tree_index, node = divmod(slot, self.size)
+        base = tree_index * self.size
+        parent = self._parent[node]
+        return StreamOrder(
+            slot=slot,
+            tree_index=tree_index,
+            node_in_tree=node,
+            is_root=parent is None,
+            parent_slot=None if parent is None else base + parent,
+            planned_length=self._planned_length[node],
+        )
+
+    def orders(self, n: int) -> Iterator[StreamOrder]:
+        """Orders for slots ``0..n-1``."""
+        for slot in range(n):
+            yield self.order_for_slot(slot)
+
+    def receiving_path(self, slot: int) -> List[int]:
+        """The client receiving program for an arrival at slot ``slot``:
+        the path of stream start-slots from the tree root down to the
+        client's own stream (``[x_0, ..., x_k]`` of Section 2)."""
+        tree_index, node = divmod(slot, self.size)
+        base = tree_index * self.size
+        path: List[int] = []
+        label: Optional[int] = node
+        while label is not None:
+            path.append(base + label)
+            label = self._parent[label]
+        path.reverse()
+        return path

@@ -1,0 +1,165 @@
+"""The receive-all model (Section 3.4).
+
+When clients can listen to *all* existing streams simultaneously, the
+stream at non-root ``x`` only needs length ``w(x) = z(x) - p(x)``
+(Lemma 17) and the optimal merge cost obeys Eq. (19),
+
+    Mw(n) = min_h { Mw(h) + Mw(n - h) } + n - 1,
+
+whose closed form is powers-of-two instead of Fibonacci (Eq. (20)):
+
+    Mw(n) = (k + 1) n - 2^{k+1} + 1    for  2^k <= n <= 2^{k+1}.
+
+The minimum is achieved exactly at the balanced splits ``h = floor(n/2)``
+and ``h = ceil(n/2)``, which yields a linear-time optimal tree builder
+(balanced binary recursion).  Full cost mirrors Lemma 9 (Eq. (22)):
+
+    Fw(L, n, s) = s L + r Mw(p+1) + (s - r) Mw(p).
+
+Surprisingly the receive-all gain over receive-two is only
+``log_phi 2 ~= 1.44`` asymptotically (Theorems 19 and 20).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+import numpy as np
+
+from .merge_tree import MergeForest, MergeNode, MergeTree
+
+__all__ = [
+    "merge_cost_receive_all",
+    "merge_cost_receive_all_array",
+    "balanced_splits",
+    "build_optimal_tree_receive_all",
+    "full_cost_receive_all_given_streams",
+    "optimal_full_cost_receive_all",
+    "build_optimal_forest_receive_all",
+]
+
+
+def merge_cost_receive_all(n: int) -> int:
+    """``Mw(n)`` via Eq. (20) in O(1) (bit-length for the power of two)."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    # largest k with 2^k <= n
+    k = n.bit_length() - 1
+    return (k + 1) * n - (1 << (k + 1)) + 1
+
+
+def merge_cost_receive_all_array(ns) -> np.ndarray:
+    """Vectorised ``Mw(n)`` over an array of sizes."""
+    arr = np.asarray(ns, dtype=np.int64)
+    if arr.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    if np.any(arr < 1):
+        raise ValueError("all sizes must be >= 1")
+    k = np.floor(np.log2(arr)).astype(np.int64)
+    # Guard against float log edge cases at exact powers of two.
+    k = np.where(np.left_shift(np.int64(1), k + 1) <= arr, k + 1, k)
+    k = np.where(np.left_shift(np.int64(1), k) > arr, k - 1, k)
+    return (k + 1) * arr - np.left_shift(np.int64(1), k + 1) + 1
+
+
+def balanced_splits(n: int) -> Tuple[int, ...]:
+    """The argmin set of Eq. (19): ``{floor(n/2), ceil(n/2)}``.
+
+    The paper's induction shows these (and only these) achieve the minimum.
+    """
+    if n < 2:
+        raise ValueError(f"n must be >= 2, got {n}")
+    lo, hi = n // 2, -(-n // 2)
+    return (lo,) if lo == hi else (lo, hi)
+
+
+def build_optimal_tree_receive_all(n: int, start: int = 0) -> MergeTree:
+    """Optimal receive-all merge tree in O(n): balanced binary splits."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+
+    def build(offset: int, size: int) -> MergeNode:
+        if size == 1:
+            return MergeNode(offset)
+        h = size // 2  # floor split; ceil is equally optimal
+        left = build(offset, h)
+        right = build(offset + h, size - h)
+        right.parent = left
+        left.children.append(right)
+        return left
+
+    import sys
+
+    old = sys.getrecursionlimit()
+    try:
+        sys.setrecursionlimit(max(old, 4 * max(1, math.ceil(math.log2(n + 1))) + 1000))
+        root = build(start, n)
+    finally:
+        sys.setrecursionlimit(old)
+    return MergeTree(root)
+
+
+def _check_args(L: int, n: int) -> None:
+    if L < 1:
+        raise ValueError(f"stream length L must be >= 1, got {L}")
+    if n < 1:
+        raise ValueError(f"number of arrivals n must be >= 1, got {n}")
+
+
+def full_cost_receive_all_given_streams(L: int, n: int, s: int) -> int:
+    """``Fw(L, n, s)`` by Eq. (22)."""
+    _check_args(L, n)
+    s0 = -(-n // L)
+    if not s0 <= s <= n:
+        raise ValueError(f"s = {s} outside [{s0}, {n}] for L={L}, n={n}")
+    p, r = divmod(n, s)
+    mp = 0 if p == 0 else merge_cost_receive_all(p)
+    return s * L + (s - r) * mp + r * merge_cost_receive_all(p + 1)
+
+
+def optimal_full_cost_receive_all(L: int, n: int) -> int:
+    """``Fw(L, n) = min_s Fw(L, n, s)``.
+
+    The paper does not give a two-candidate shortcut for the receive-all
+    full cost, so we minimise directly; the function is unimodal in
+    practice, but we scan the feasible range for correctness (O(n)).
+    """
+    _check_args(L, n)
+    s0 = -(-n // L)
+    return min(
+        full_cost_receive_all_given_streams(L, n, s) for s in range(s0, n + 1)
+    )
+
+
+def optimal_stream_count_receive_all(L: int, n: int) -> int:
+    """Argmin ``s`` for ``Fw(L, n, s)`` (smallest on ties)."""
+    _check_args(L, n)
+    s0 = -(-n // L)
+    best_s, best = s0, None
+    for s in range(s0, n + 1):
+        cost = full_cost_receive_all_given_streams(L, n, s)
+        if best is None or cost < best:
+            best_s, best = s, cost
+    return best_s
+
+
+def build_optimal_forest_receive_all(
+    L: int, n: int, s: int | None = None
+) -> MergeForest:
+    """Optimal receive-all merge forest (Eq. (22) placement)."""
+    _check_args(L, n)
+    if s is None:
+        s = optimal_stream_count_receive_all(L, n)
+    p, r = divmod(n, s)
+    trees: List[MergeTree] = []
+    offset = 0
+    for _ in range(r):
+        trees.append(build_optimal_tree_receive_all(p + 1, start=offset))
+        offset += p + 1
+    for _ in range(s - r):
+        trees.append(build_optimal_tree_receive_all(p, start=offset))
+        offset += p
+    forest = MergeForest(trees)
+    forest.validate_for_length(L, receive_all=True)
+    return forest

@@ -1,0 +1,231 @@
+"""Client receiving programs (Section 2) — the executable model semantics.
+
+A client arriving at ``x_k`` whose root path in the merge tree is
+``x_0 < x_1 < ... < x_k`` follows the *stream merging rules*:
+
+Stage ``i`` (``0 <= i <= k-1``), lasting ``x_{k-i} - x_{k-i-1}`` slots from
+time ``2 x_k - x_{k-i}`` to ``2 x_k - x_{k-i-1}``: the client receives
+
+* parts ``2x_k - 2x_{k-i} + 1 .. 2x_k - x_{k-i} - x_{k-i-1}`` from stream
+  ``x_{k-i}`` and
+* parts ``2x_k - x_{k-i} - x_{k-i-1} + 1 .. 2x_k - 2x_{k-i-1}`` from stream
+  ``x_{k-i-1}``,
+
+i.e. it always listens to a consecutive pair of path streams, hopping one
+step rootward per stage (a *merge operation*).  Stage ``k`` (only when
+``2(x_k - x_0) < L``): parts ``2(x_k - x_0) + 1 .. L`` from the root stream.
+Part numbers beyond ``L`` are clipped (they do not exist; coverage of
+``1..L`` is preserved because stage ranges are contiguous).
+
+A stream ``y`` broadcasts part ``j`` during the slot ``[y+j-1, y+j]``; the
+client plays part ``j`` during ``[x_k+j-1, x_k+j]``.  Playback is
+uninterrupted iff every part is received in a slot ending no later than its
+playback slot ends (play-while-receive is allowed, as in the paper's
+Fig. 2).  These schedules are what :mod:`repro.simulation.verify` checks
+wholesale for every client of a forest.
+
+The receive-all analogue (from the proof of Lemma 17): the client listens to
+*all* path streams at once from its arrival, taking parts
+``1 + (x_k - x_i) .. x_k - x_{i-1}`` from stream ``x_i`` (own stream:
+``1 .. x_k - x_{k-1}``; root: up to ``L``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from .merge_tree import MergeForest, MergeTree
+
+__all__ = [
+    "Reception",
+    "ReceivingProgram",
+    "receive_two_program",
+    "receive_all_program",
+    "forest_programs",
+]
+
+
+@dataclass(frozen=True)
+class Reception:
+    """One part received from one stream in one slot.
+
+    ``slot_end`` is the integer end time of the reception slot; the part was
+    transmitted during ``[slot_end - 1, slot_end]``.
+    """
+
+    part: int
+    stream: float
+    slot_end: float
+
+
+@dataclass
+class ReceivingProgram:
+    """The full reception schedule for one client."""
+
+    client: float
+    path: Tuple[float, ...]
+    L: int
+    receptions: List[Reception]
+
+    # -- derived views -------------------------------------------------------
+
+    def parts_received(self) -> List[int]:
+        return sorted(r.part for r in self.receptions)
+
+    def reception_by_part(self) -> Dict[int, Reception]:
+        out: Dict[int, Reception] = {}
+        for r in self.receptions:
+            if r.part in out:
+                raise AssertionError(f"part {r.part} received twice")
+            out[r.part] = r
+        return out
+
+    def streams_used(self) -> List[float]:
+        return sorted({r.stream for r in self.receptions})
+
+    def max_parallel_streams(self) -> int:
+        """Largest number of distinct streams listened to in one slot."""
+        per_slot: Dict[float, set] = {}
+        for r in self.receptions:
+            per_slot.setdefault(r.slot_end, set()).add(r.stream)
+        return max((len(s) for s in per_slot.values()), default=0)
+
+    def playback_deadline(self, part: int) -> float:
+        """Playback of ``part`` occupies ``[client+part-1, client+part]``."""
+        return self.client + part
+
+    def is_complete(self) -> bool:
+        """All parts 1..L received exactly once."""
+        return self.parts_received() == list(range(1, self.L + 1))
+
+    def is_on_time(self) -> bool:
+        """Every part arrives by the end of its playback slot."""
+        return all(r.slot_end <= self.playback_deadline(r.part) for r in self.receptions)
+
+    def buffer_occupancy(self) -> Dict[float, int]:
+        """Buffer level (parts held) after each integer-slot boundary.
+
+        A part ``j`` occupies the buffer from its reception slot end until
+        the end of its playback slot ``client + j`` (exclusive): a part that
+        is received in its own playback slot never touches the buffer.
+        """
+        by_part = self.reception_by_part()
+        boundaries = sorted(
+            {r.slot_end for r in self.receptions}
+            | {self.playback_deadline(p) for p in by_part}
+        )
+        levels: Dict[float, int] = {}
+        for t in boundaries:
+            level = sum(
+                1
+                for part, r in by_part.items()
+                if r.slot_end <= t < self.playback_deadline(part)
+            )
+            levels[t] = level
+        return levels
+
+    def max_buffer(self) -> int:
+        occ = self.buffer_occupancy()
+        return max(occ.values(), default=0)
+
+    def last_part_from(self, stream: float) -> int:
+        """Largest part number this client takes from ``stream`` (0 if none)."""
+        parts = [r.part for r in self.receptions if r.stream == stream]
+        return max(parts, default=0)
+
+
+def _path_arrivals(tree: MergeTree, client: float) -> Tuple[float, ...]:
+    path = tuple(n.arrival for n in tree.node(client).path_from_root())
+    for t in path:
+        if float(t) != int(t):
+            raise ValueError(
+                "receiving programs are defined on slotted (integer) "
+                f"arrival times; got {t!r} — slot the trace first"
+            )
+    return path
+
+
+def receive_two_program(tree: MergeTree, client: float, L: int) -> ReceivingProgram:
+    """Build the Section 2 receive-two schedule for ``client`` in ``tree``."""
+    path = _path_arrivals(tree, client)
+    xk = path[-1]
+    receptions: List[Reception] = []
+    k = len(path) - 1
+
+    # Stages 0..k-1: listen to the pair (x_{k-i}, x_{k-i-1}).
+    for i in range(k):
+        upper = path[k - i]  # x_{k-i}, the later stream of the pair
+        lower = path[k - i - 1]  # x_{k-i-1}
+        # From the later stream of the pair:
+        first = int(2 * xk - 2 * upper + 1)
+        last = int(2 * xk - upper - lower)
+        for part in range(first, min(last, L) + 1):
+            receptions.append(Reception(part=part, stream=upper, slot_end=upper + part))
+        # From the earlier stream of the pair:
+        first = int(2 * xk - upper - lower + 1)
+        last = int(2 * xk - 2 * lower)
+        for part in range(first, min(last, L) + 1):
+            receptions.append(Reception(part=part, stream=lower, slot_end=lower + part))
+
+    # Stage k: the tail of the root stream.
+    x0 = path[0]
+    first = int(2 * (xk - x0) + 1)
+    for part in range(first, L + 1):
+        receptions.append(Reception(part=part, stream=x0, slot_end=x0 + part))
+
+    return ReceivingProgram(client=client, path=path, L=L, receptions=receptions)
+
+
+def receive_all_program(tree: MergeTree, client: float, L: int) -> ReceivingProgram:
+    """The receive-all schedule (proof of Lemma 17)."""
+    path = _path_arrivals(tree, client)
+    xk = path[-1]
+    receptions: List[Reception] = []
+    k = len(path) - 1
+    for idx in range(k, -1, -1):
+        stream = path[idx]
+        first = int(1 + (xk - stream))
+        if idx == 0:
+            last = L
+        else:
+            last = int(xk - path[idx - 1])
+        for part in range(first, min(last, L) + 1):
+            receptions.append(Reception(part=part, stream=stream, slot_end=stream + part))
+    return ReceivingProgram(client=client, path=path, L=L, receptions=receptions)
+
+
+def forest_programs(
+    forest: MergeForest, L: int, model: str = "receive-two"
+) -> Dict[float, ReceivingProgram]:
+    """Receiving programs for every client of a forest.
+
+    ``model`` is ``"receive-two"`` or ``"receive-all"``.
+    """
+    if model == "receive-two":
+        builder = receive_two_program
+    elif model == "receive-all":
+        builder = receive_all_program
+    else:
+        raise ValueError(f"unknown model {model!r}")
+    out: Dict[float, ReceivingProgram] = {}
+    for tree in forest:
+        for arrival in tree.arrivals():
+            out[arrival] = builder(tree, arrival, L)
+    return out
+
+
+def required_stream_lengths(
+    programs: Sequence[ReceivingProgram],
+) -> Dict[float, int]:
+    """Per-stream minimum length implied by actual client demand.
+
+    The simulation-side counterpart of Lemma 1/17: stream ``y`` must run
+    until the last part any client takes from it.
+    """
+    need: Dict[float, int] = {}
+    for prog in programs:
+        for stream in prog.streams_used():
+            last = prog.last_part_from(stream)
+            need[stream] = max(need.get(stream, 0), last)
+    return need

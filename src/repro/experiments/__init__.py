@@ -1,0 +1,46 @@
+"""Experiment registry: one module per paper table/figure.
+
+Import side effects register each experiment; ``_load_all`` is called by
+the harness accessors so ``get_experiment``/``all_experiments`` always see
+the complete registry.
+"""
+
+from .harness import (
+    Experiment,
+    ExperimentResult,
+    all_experiments,
+    format_table,
+    get_experiment,
+    register,
+)
+
+_LOADED = False
+
+
+def _load_all() -> None:
+    global _LOADED
+    if _LOADED:
+        return
+    _LOADED = True
+    from . import (  # noqa: F401 - imported for registration side effects
+        ablations,
+        asymptotics,
+        extensions,
+        fig1_delay_savings,
+        fig2_mechanism,
+        fig8_root_intervals,
+        fig9_online_ratio,
+        policy_comparison,
+        table_merge_cost,
+        worked_examples,
+    )
+
+
+__all__ = [
+    "Experiment",
+    "ExperimentResult",
+    "all_experiments",
+    "format_table",
+    "get_experiment",
+    "register",
+]

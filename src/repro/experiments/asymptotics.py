@@ -1,0 +1,120 @@
+"""Asymptotic claims: Theorems 8, 13, 14, 19/20.
+
+* ``thm19``: the receive-two / receive-all merge-cost ratio drifts to
+  ``log_phi 2 ~ 1.4404`` (Theorem 19) and the full-cost ratio follows
+  (Theorem 20).
+* ``thm14``: batching alone costs ``n L``; with stream merging the optimal
+  full cost is ``n log_phi L + Theta(n)``, so the gain grows as
+  ``Theta(L / log L)`` (Theorem 14).
+* ``thm8``: sandwich check of ``M(n)`` between the Eq. (9)/(10) bounds.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..core import bounds
+from ..core.full_cost import optimal_full_cost
+from ..core.offline import merge_cost
+from ..core.receive_all import (
+    merge_cost_receive_all,
+    optimal_full_cost_receive_all,
+)
+from .harness import ExperimentResult, register
+
+
+@register(
+    "thm19",
+    "Receive-two vs receive-all cost ratio (Theorems 19-20)",
+    "Section 3.4, Theorems 19 and 20",
+    "M(n)/Mw(n) -> log_phi 2 ~ 1.4404; full-cost ratio for growing L.",
+)
+def run_thm19(
+    ns: Sequence[int] = (10, 100, 1000, 10_000, 100_000, 1_000_000),
+    Ls: Sequence[int] = (10, 30, 100, 300, 1000),
+    full_cost_n_factor: int = 50,
+) -> List[ExperimentResult]:
+    limit = bounds.RECEIVE_ALL_GAIN
+    rows = [
+        (n, merge_cost(n), merge_cost_receive_all(n),
+         round(merge_cost(n) / merge_cost_receive_all(n), 5))
+        for n in ns
+    ]
+    res_merge = ExperimentResult(
+        title=f"M(n) / Mw(n) (limit log_phi 2 = {limit:.5f})",
+        headers=("n", "M(n)", "Mw(n)", "ratio"),
+        rows=rows,
+    )
+    rows_full = []
+    for L in Ls:
+        n = full_cost_n_factor * L
+        f2 = optimal_full_cost(L, n)
+        fa = optimal_full_cost_receive_all(L, n)
+        rows_full.append((L, n, f2, fa, round(f2 / fa, 5)))
+    res_full = ExperimentResult(
+        title="F(L,n) / Fw(L,n) for n = "
+        f"{full_cost_n_factor} L (Theorem 20; limit {limit:.5f})",
+        headers=("L", "n", "F(L,n)", "Fw(L,n)", "ratio"),
+        rows=rows_full,
+    )
+    return [res_merge, res_full]
+
+
+@register(
+    "thm14",
+    "Stream merging vs pure batching (Theorem 14)",
+    "Theorem 14",
+    "Gain n L / F(L, n) grows like L / log_phi L.",
+)
+def run_thm14(
+    Ls: Sequence[int] = (4, 8, 16, 32, 64, 128, 256, 512, 1024),
+    n_factor: int = 20,
+) -> List[ExperimentResult]:
+    rows = []
+    for L in Ls:
+        n = n_factor * L
+        batching = bounds.batching_cost(L, n)
+        merged = optimal_full_cost(L, n)
+        gain = batching / merged
+        order = bounds.batching_gain_order(L)
+        rows.append((L, n, batching, merged, round(gain, 3), round(order, 3),
+                     round(gain / order, 4)))
+    return [
+        ExperimentResult(
+            title="Batching nL vs optimal F(L,n): measured gain vs L/log_phi L",
+            headers=("L", "n", "batching", "F(L,n)", "gain", "L/log_phi L",
+                     "gain/order"),
+            rows=rows,
+            notes=[
+                "Shape target: gain/order approaches a constant (Theta-ratio "
+                "stabilises) as L grows.",
+            ],
+        )
+    ]
+
+
+@register(
+    "thm8",
+    "Merge-cost sandwich M(n) = n log_phi n + Theta(n) (Theorem 8)",
+    "Theorem 8, Eqs. (9)-(10)",
+    "Closed-form M(n) between the explicit upper/lower bounds.",
+)
+def run_thm8(
+    ns: Sequence[int] = (10, 100, 1000, 10_000, 100_000, 1_000_000),
+) -> List[ExperimentResult]:
+    rows = []
+    for n in ns:
+        m = merge_cost(n)
+        lo = bounds.merge_cost_lower(n)
+        hi = bounds.merge_cost_upper(n)
+        ok = lo <= m <= hi
+        rows.append((n, round(lo, 1), m, round(hi, 1),
+                     round(m / (n * bounds.log_phi(n)), 5),
+                     "ok" if ok else "VIOLATION"))
+    return [
+        ExperimentResult(
+            title="Eq. (10) <= M(n) <= Eq. (9); M(n)/(n log_phi n) -> 1",
+            headers=("n", "lower", "M(n)", "upper", "M/(n log_phi n)", "status"),
+            rows=rows,
+        )
+    ]

@@ -1,0 +1,161 @@
+"""Plain-text chart rendering for figure experiments.
+
+The paper's evaluation artifacts are line charts; the CLI renders each
+figure's series as an ASCII chart next to the data table so the *shape*
+(crossovers, flat lines, convergence) is visible in a terminal without
+any plotting dependency.
+
+Only monotone-x series are supported; x values are mapped to columns and
+y values to rows with min/max auto-scaling.  Multiple series share the
+canvas, each with its own marker; collisions show the later series'
+marker (series order = legend order).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+__all__ = ["Series", "AsciiChart", "render_chart"]
+
+_MARKERS = "ox+*#@%&"
+
+
+@dataclass(frozen=True)
+class Series:
+    """One named line: y-values over the shared x grid."""
+
+    name: str
+    ys: Tuple[float, ...]
+
+    @staticmethod
+    def of(name: str, ys: Sequence[float]) -> "Series":
+        return Series(name=name, ys=tuple(float(y) for y in ys))
+
+
+@dataclass
+class AsciiChart:
+    """A fixed-size character canvas with axes."""
+
+    xs: Tuple[float, ...]
+    series: List[Series] = field(default_factory=list)
+    width: int = 64
+    height: int = 18
+    x_label: str = ""
+    y_label: str = ""
+    logx: bool = False
+    logy: bool = False
+
+    def add(self, name: str, ys: Sequence[float]) -> "AsciiChart":
+        ys = tuple(float(v) for v in ys)
+        if len(ys) != len(self.xs):
+            raise ValueError(
+                f"series {name!r} has {len(ys)} points for {len(self.xs)} xs"
+            )
+        self.series.append(Series(name=name, ys=ys))
+        return self
+
+    # -- scaling ----------------------------------------------------------------
+
+    def _tx(self, x: float) -> float:
+        return math.log10(x) if self.logx else x
+
+    def _ty(self, y: float) -> float:
+        return math.log10(y) if self.logy else y
+
+    def _bounds(self) -> Tuple[float, float, float, float]:
+        if not self.series:
+            raise ValueError("no series to plot")
+        xs = [self._tx(x) for x in self.xs]
+        ys = [self._ty(y) for s in self.series for y in s.ys]
+        x0, x1 = min(xs), max(xs)
+        y0, y1 = min(ys), max(ys)
+        if x1 == x0:
+            x1 = x0 + 1.0
+        if y1 == y0:
+            y1 = y0 + 1.0
+        return x0, x1, y0, y1
+
+    # -- rendering -----------------------------------------------------------------
+
+    def render(self) -> str:
+        if self.logx and any(x <= 0 for x in self.xs):
+            raise ValueError("logx requires positive x values")
+        if self.logy and any(y <= 0 for s in self.series for y in s.ys):
+            raise ValueError("logy requires positive y values")
+        x0, x1, y0, y1 = self._bounds()
+        grid = [[" "] * self.width for _ in range(self.height)]
+
+        def col(x: float) -> int:
+            frac = (self._tx(x) - x0) / (x1 - x0)
+            return min(self.width - 1, max(0, round(frac * (self.width - 1))))
+
+        def row(y: float) -> int:
+            frac = (self._ty(y) - y0) / (y1 - y0)
+            return min(
+                self.height - 1, max(0, self.height - 1 - round(frac * (self.height - 1)))
+            )
+
+        for idx, s in enumerate(self.series):
+            marker = _MARKERS[idx % len(_MARKERS)]
+            # draw segments with simple column interpolation
+            cols = [col(x) for x in self.xs]
+            rows = [row(y) for y in s.ys]
+            for (c0, r0), (c1, r1) in zip(zip(cols, rows), zip(cols[1:], rows[1:])):
+                steps = max(abs(c1 - c0), abs(r1 - r0), 1)
+                for t in range(steps + 1):
+                    c = round(c0 + (c1 - c0) * t / steps)
+                    r = round(r0 + (r1 - r0) * t / steps)
+                    grid[r][c] = marker
+            # end-point markers win over interpolation dots
+            for c, r in zip(cols, rows):
+                grid[r][c] = marker
+
+        lines: List[str] = []
+        y_hi = f"{y1:.4g}" if not self.logy else f"{10 ** y1:.4g}"
+        y_lo = f"{y0:.4g}" if not self.logy else f"{10 ** y0:.4g}"
+        label_w = max(len(y_hi), len(y_lo)) + 1
+        for r in range(self.height):
+            prefix = ""
+            if r == 0:
+                prefix = y_hi
+            elif r == self.height - 1:
+                prefix = y_lo
+            lines.append(prefix.rjust(label_w) + " |" + "".join(grid[r]))
+        lines.append(" " * label_w + " +" + "-" * self.width)
+        x_lo = f"{self.xs[0]:.4g}"
+        x_hi = f"{self.xs[-1]:.4g}"
+        axis = x_lo + " " * max(1, self.width - len(x_lo) - len(x_hi)) + x_hi
+        lines.append(" " * (label_w + 2) + axis)
+        if self.x_label:
+            lines.append(" " * (label_w + 2) + self.x_label.center(self.width))
+        legend = "   ".join(
+            f"{_MARKERS[i % len(_MARKERS)]} {s.name}" for i, s in enumerate(self.series)
+        )
+        lines.append("")
+        lines.append((" " * (label_w + 2)) + legend)
+        return "\n".join(lines)
+
+
+def render_chart(
+    xs: Sequence[float],
+    named_series: Sequence[Tuple[str, Sequence[float]]],
+    x_label: str = "",
+    logx: bool = False,
+    logy: bool = False,
+    width: int = 64,
+    height: int = 18,
+) -> str:
+    """One-call chart: xs plus (name, ys) pairs."""
+    chart = AsciiChart(
+        xs=tuple(float(x) for x in xs),
+        width=width,
+        height=height,
+        x_label=x_label,
+        logx=logx,
+        logy=logy,
+    )
+    for name, ys in named_series:
+        chart.add(name, ys)
+    return chart.render()

@@ -1,0 +1,45 @@
+"""Fig. 8: the table of root-merge intervals ``I(n)`` for 2 <= n <= 55.
+
+Theorem 3 characterises ``I(n)`` as one of three Fibonacci intervals; the
+experiment prints the closed-form interval next to the DP argmin set and
+the Theorem 3 case, confirming they coincide for every n.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core import dp, offline
+from .harness import ExperimentResult, register
+
+
+@register(
+    "fig8",
+    "Root-merge intervals I(n) (Fig. 8)",
+    "Fig. 8 / Theorem 3",
+    "Closed-form I_i(n) intervals vs exhaustive DP argmin sets.",
+)
+def run_fig8(n_max: int = 55) -> List[ExperimentResult]:
+    sets = dp.argmin_sets(n_max)
+    rows = []
+    for n in range(2, n_max + 1):
+        lo, hi = offline.root_merge_interval(n)
+        k, m, case = offline.interval_case(n)
+        dp_set = sets[n - 1]
+        dp_lo, dp_hi = dp_set[0], dp_set[-1]
+        contiguous = dp_set == list(range(dp_lo, dp_hi + 1))
+        match = "ok" if (contiguous and (lo, hi) == (dp_lo, dp_hi)) else "MISMATCH"
+        rows.append(
+            (n, f"[{lo},{hi}]", f"[{dp_lo},{dp_hi}]", f"F_{k}+{m}", f"I{case}", match)
+        )
+    return [
+        ExperimentResult(
+            title="I(n): Theorem 3 intervals vs DP argmin (Fig. 8)",
+            headers=("n", "closed form", "DP", "n = F_k + m", "case", "status"),
+            rows=rows,
+            notes=[
+                "Each I(n) is a contiguous interval; pattern follows the "
+                "Fibonacci decomposition of n exactly as Fig. 8 shows."
+            ],
+        )
+    ]

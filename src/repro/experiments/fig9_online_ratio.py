@@ -1,0 +1,70 @@
+"""Fig. 9: ratio of the on-line DG bandwidth to the off-line optimum.
+
+The paper plots ``A(L, n) / F(L, n)`` against the time horizon and shows
+it approaching 1; Theorem 22 bounds it by ``1 + 2L/n`` once ``L >= 7`` and
+``n > L^2 + 2``.  The experiment sweeps horizons for several stream
+lengths and reports the measured ratio next to the bound.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..core.bounds import online_ratio_bound, online_ratio_bound_applies
+from ..core.full_cost import optimal_full_cost
+from ..core.online import online_full_cost
+from .charts import render_chart
+from .harness import ExperimentResult, register
+
+DEFAULT_LS = (15, 50, 100)
+DEFAULT_NS = (10, 30, 100, 300, 1000, 3000, 10000, 30000, 100000)
+
+
+@register(
+    "fig9",
+    "On-line / off-line bandwidth ratio vs horizon (Fig. 9)",
+    "Fig. 9 / Theorems 21-22",
+    "A(L,n)/F(L,n) for several L as the horizon n grows, with the "
+    "Theorem 22 bound 1 + 2L/n where it applies.",
+)
+def run_fig9(
+    Ls: Sequence[int] = DEFAULT_LS, ns: Sequence[int] = DEFAULT_NS
+) -> List[ExperimentResult]:
+    results = []
+    for L in Ls:
+        rows = []
+        for n in ns:
+            a = online_full_cost(L, n)
+            f = optimal_full_cost(L, n)
+            ratio = a / f
+            applies = online_ratio_bound_applies(L, n)
+            bound = online_ratio_bound(L, n)
+            within = (not applies) or ratio <= bound + 1e-12
+            rows.append(
+                (
+                    n,
+                    a,
+                    f,
+                    round(ratio, 5),
+                    round(bound, 5) if applies else "-",
+                    "ok" if within else "VIOLATION",
+                )
+            )
+        results.append(
+            ExperimentResult(
+                title=f"A(L,n)/F(L,n) for L = {L}",
+                headers=("n", "A(L,n)", "F(L,n)", "ratio", "Thm22 bound", "status"),
+                rows=rows,
+                notes=[
+                    "Shape target: ratio -> 1 as the horizon grows.",
+                    "\n"
+                    + render_chart(
+                        [r[0] for r in rows],
+                        [("A/F ratio", [r[3] for r in rows])],
+                        x_label="time horizon n (slots, log scale)",
+                        logx=True,
+                    ),
+                ],
+            )
+        )
+    return results

@@ -1,0 +1,118 @@
+"""Experiment harness: registry, result tables, ASCII rendering.
+
+Every paper table/figure has a module registering an
+:class:`Experiment`; ``python -m repro <id>`` regenerates it and prints the
+rows the paper reports.  Benchmarks reuse the same entry points with
+smaller parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+__all__ = [
+    "ExperimentResult",
+    "Experiment",
+    "register",
+    "get_experiment",
+    "all_experiments",
+    "format_table",
+]
+
+_REGISTRY: Dict[str, "Experiment"] = {}
+
+
+@dataclass
+class ExperimentResult:
+    """A titled table plus free-form notes."""
+
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence[object]]
+    notes: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        out = [self.title, "=" * len(self.title), ""]
+        out.append(format_table(self.headers, self.rows))
+        if self.notes:
+            out.append("")
+            out.extend(f"note: {n}" for n in self.notes)
+        return "\n".join(out)
+
+    def column(self, name: str) -> List[object]:
+        """Extract one column by header name."""
+        idx = list(self.headers).index(name)
+        return [row[idx] for row in self.rows]
+
+
+@dataclass
+class Experiment:
+    """A registered, regenerable paper artifact."""
+
+    exp_id: str
+    title: str
+    paper_ref: str
+    run: Callable[..., List[ExperimentResult]]
+    description: str = ""
+
+    def __call__(self, **kwargs) -> List[ExperimentResult]:
+        return self.run(**kwargs)
+
+
+def register(
+    exp_id: str, title: str, paper_ref: str, description: str = ""
+) -> Callable:
+    """Decorator: register ``fn`` as the generator for ``exp_id``."""
+
+    def deco(fn: Callable[..., List[ExperimentResult]]) -> Callable:
+        if exp_id in _REGISTRY:
+            raise ValueError(f"duplicate experiment id {exp_id!r}")
+        _REGISTRY[exp_id] = Experiment(
+            exp_id=exp_id,
+            title=title,
+            paper_ref=paper_ref,
+            run=fn,
+            description=description,
+        )
+        return fn
+
+    return deco
+
+
+def get_experiment(exp_id: str) -> Experiment:
+    # Import the experiment modules lazily so the registry is populated.
+    from . import _load_all  # noqa: F401 - side-effect import
+
+    _load_all()
+    if exp_id not in _REGISTRY:
+        raise KeyError(
+            f"unknown experiment {exp_id!r}; known: {sorted(_REGISTRY)}"
+        )
+    return _REGISTRY[exp_id]
+
+
+def all_experiments() -> Dict[str, Experiment]:
+    from . import _load_all
+
+    _load_all()
+    return dict(_REGISTRY)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}" if abs(value) < 1e6 else f"{value:.4e}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Plain aligned text table."""
+    cells = [[_fmt(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    header_line = "  ".join(h.ljust(w) for h, w in zip(cells[0], widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

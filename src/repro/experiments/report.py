@@ -1,0 +1,60 @@
+"""Result persistence: write experiment outputs to a results directory.
+
+``python -m repro <id> --save [dir]`` renders each experiment's tables to
+``<dir>/<id>.txt`` and the raw rows to ``<dir>/<id>.json`` so downstream
+tooling (plotting, regression diffing across versions) can consume them
+without re-running the sweeps.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import List, Union
+
+from .harness import Experiment, ExperimentResult
+
+__all__ = ["save_results", "results_to_json"]
+
+
+def results_to_json(exp_id: str, results: List[ExperimentResult]) -> str:
+    """Machine-readable dump of an experiment's tables."""
+    payload = {
+        "schema": "repro.experiment-result.v1",
+        "experiment": exp_id,
+        "generated_unix": int(time.time()),
+        "tables": [
+            {
+                "title": res.title,
+                "headers": list(res.headers),
+                "rows": [list(row) for row in res.rows],
+                "notes": [n for n in res.notes if not n.startswith("\n")],
+            }
+            for res in results
+        ],
+    }
+    return json.dumps(payload, indent=2, default=str)
+
+
+def save_results(
+    exp: Experiment,
+    results: List[ExperimentResult],
+    out_dir: Union[str, Path],
+) -> List[Path]:
+    """Write ``<id>.txt`` (rendered) and ``<id>.json`` (raw) to ``out_dir``.
+
+    Returns the written paths.  The directory is created if needed.
+    """
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    txt_path = out / f"{exp.exp_id}.txt"
+    json_path = out / f"{exp.exp_id}.json"
+    rendered = "\n\n".join(res.render() for res in results)
+    header = (
+        f"# {exp.title}\n# paper ref: {exp.paper_ref}\n"
+        f"# regenerate: python -m repro {exp.exp_id}\n\n"
+    )
+    txt_path.write_text(header + rendered + "\n")
+    json_path.write_text(results_to_json(exp.exp_id, results))
+    return [txt_path, json_path]

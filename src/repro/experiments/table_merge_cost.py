@@ -1,0 +1,65 @@
+"""In-text tables of Section 3.1 / 3.4: ``M(n)`` and ``Mw(n)`` for n=1..16.
+
+Also cross-checks the closed forms (Eq. (6), Eq. (20)) against the O(n^2)
+dynamic programs of [6] — the exact-match core of the reproduction.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core import dp, offline, receive_all
+from .harness import ExperimentResult, register
+
+#: The table printed below Eq. (5) in the paper.
+PAPER_M = [0, 1, 3, 6, 9, 13, 17, 21, 26, 31, 36, 41, 46, 52, 58, 64]
+#: The table printed below Eq. (19).
+PAPER_MW = [0, 1, 3, 5, 8, 11, 14, 17, 21, 25, 29, 33, 37, 41, 45, 49]
+
+
+@register(
+    "table-mn",
+    "Optimal merge cost M(n), n = 1..16 (Section 3.1 in-text table)",
+    "Section 3.1, sequence below Eq. (5)",
+    "Closed form (Eq. 6) vs O(n^2) DP (Eq. 5) vs the paper's printed row.",
+)
+def run_table_mn(n_max: int = 16) -> List[ExperimentResult]:
+    dp_table = dp.merge_cost_table(n_max)
+    rows = []
+    for n in range(1, n_max + 1):
+        closed = offline.merge_cost(n)
+        via_dp = dp_table[n]
+        paper = PAPER_M[n - 1] if n <= len(PAPER_M) else ""
+        match = "ok" if (closed == via_dp and (paper == "" or closed == paper)) else "MISMATCH"
+        rows.append((n, closed, via_dp, paper, match))
+    return [
+        ExperimentResult(
+            title="M(n): closed form vs DP vs paper",
+            headers=("n", "Eq.(6)", "DP Eq.(5)", "paper", "status"),
+            rows=rows,
+        )
+    ]
+
+
+@register(
+    "table-mw",
+    "Receive-all merge cost Mw(n), n = 1..16 (Section 3.4 in-text table)",
+    "Section 3.4, sequence below Eq. (19)",
+    "Closed form (Eq. 20) vs O(n^2) DP (Eq. 19) vs the paper's printed row.",
+)
+def run_table_mw(n_max: int = 16) -> List[ExperimentResult]:
+    dp_table = dp.receive_all_cost_table(n_max)
+    rows = []
+    for n in range(1, n_max + 1):
+        closed = receive_all.merge_cost_receive_all(n)
+        via_dp = dp_table[n]
+        paper = PAPER_MW[n - 1] if n <= len(PAPER_MW) else ""
+        match = "ok" if (closed == via_dp and (paper == "" or closed == paper)) else "MISMATCH"
+        rows.append((n, closed, via_dp, paper, match))
+    return [
+        ExperimentResult(
+            title="Mw(n): closed form vs DP vs paper",
+            headers=("n", "Eq.(20)", "DP Eq.(19)", "paper", "status"),
+            rows=rows,
+        )
+    ]

@@ -1,0 +1,246 @@
+"""Multi-object Media-on-Demand provisioning (Section 5 future work).
+
+The paper closes with two observations this module turns into code:
+
+* "studying the maximum bandwidth rather than average bandwidth usage is
+  likely to be important" for servers carrying many objects, and
+* with the Delay Guaranteed algorithm "by increasing the guaranteed
+  delay, we can ensure that we never go over the fixed maximum bandwidth
+  and still never have to decline a client request".
+
+For each catalog object we build the merge forest its policy would
+produce over the horizon, take the stream intervals (Lemma 1 lengths) and
+aggregate them across objects on a common timeline.  The aggregate *peak*
+is the number of physical channels the server must own.  The DG envelope
+is deterministic — independent of the workload — so channel provisioning
+reduces to a search over the delay guarantee (:func:`min_delay_for_budget`).
+Dyadic merging is load-dependent; :func:`serve_catalog` quantifies both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..arrivals.traces import ArrivalTrace
+from ..baselines.dyadic import DyadicParams, dyadic_forest
+from ..core.online import build_online_forest
+from ..simulation.channels import StreamInterval, forest_intervals
+from .catalog import Catalog, MediaObject
+
+__all__ = [
+    "ObjectLoad",
+    "MultiplexReport",
+    "dg_object_load",
+    "dyadic_object_load",
+    "aggregate_peak",
+    "aggregate_profile",
+    "serve_catalog",
+    "min_delay_for_budget",
+]
+
+
+@dataclass(frozen=True)
+class ObjectLoad:
+    """One object's stream intervals over the horizon, in minutes."""
+
+    name: str
+    L: int
+    delay_minutes: float
+    total_units_minutes: float
+    intervals: Tuple[StreamInterval, ...]
+    clients: int = 0
+
+    @property
+    def peak(self) -> int:
+        return aggregate_peak([self])
+
+
+def _scale_intervals(
+    intervals: Sequence[StreamInterval], scale: float
+) -> Tuple[StreamInterval, ...]:
+    return tuple(
+        StreamInterval(label=s.label * scale, start=s.start * scale, end=s.end * scale)
+        for s in intervals
+    )
+
+
+def dg_object_load(
+    obj: MediaObject, delay_minutes: float, horizon_minutes: float
+) -> ObjectLoad:
+    """The Delay Guaranteed envelope for one object — workload-independent.
+
+    A stream starts every ``delay_minutes``; the merge forest is the
+    static Fibonacci-tree forest over ``horizon / delay`` slots.
+    """
+    if horizon_minutes <= 0:
+        raise ValueError("horizon must be positive")
+    L = obj.units(delay_minutes)
+    n_slots = max(1, int(np.ceil(horizon_minutes / delay_minutes)))
+    forest = build_online_forest(L, n_slots)
+    raw = forest_intervals(forest, L)
+    intervals = _scale_intervals(raw, delay_minutes)
+    total = sum(s.units for s in intervals)
+    return ObjectLoad(
+        name=obj.name,
+        L=L,
+        delay_minutes=delay_minutes,
+        total_units_minutes=total,
+        intervals=intervals,
+    )
+
+
+def dyadic_object_load(
+    obj: MediaObject,
+    delay_minutes: float,
+    trace_minutes: ArrivalTrace,
+    params: Optional[DyadicParams] = None,
+) -> ObjectLoad:
+    """Immediate-service dyadic load for one object's request trace.
+
+    ``delay_minutes`` only sets the slot scale for ``L`` (the dyadic
+    algorithm itself serves immediately).  Empty traces cost nothing.
+    """
+    L = obj.units(delay_minutes)
+    if len(trace_minutes) == 0:
+        return ObjectLoad(
+            name=obj.name,
+            L=L,
+            delay_minutes=delay_minutes,
+            total_units_minutes=0.0,
+            intervals=(),
+            clients=0,
+        )
+    params = params or DyadicParams()
+    # dyadic works in slot units; convert the trace, then scale back.
+    ts = [t / delay_minutes for t in trace_minutes]
+    forest = dyadic_forest(ts, L, params)
+    raw = forest_intervals(forest, L)
+    intervals = _scale_intervals(raw, delay_minutes)
+    total = sum(s.units for s in intervals)
+    return ObjectLoad(
+        name=obj.name,
+        L=L,
+        delay_minutes=delay_minutes,
+        total_units_minutes=total,
+        intervals=intervals,
+        clients=len(trace_minutes),
+    )
+
+
+def aggregate_peak(loads: Sequence[ObjectLoad]) -> int:
+    """Peak number of simultaneously live streams across all objects."""
+    events: List[Tuple[float, int]] = []
+    for load in loads:
+        for s in load.intervals:
+            events.append((s.start, 1))
+            events.append((s.end, -1))
+    events.sort(key=lambda e: (e[0], e[1]))  # ends before starts at ties
+    level = peak = 0
+    for _, delta in events:
+        level += delta
+        peak = max(peak, level)
+    return peak
+
+
+def aggregate_profile(
+    loads: Sequence[ObjectLoad], t0: float, t1: float, resolution: float
+) -> np.ndarray:
+    """Concurrent-stream counts sampled on [t0, t1) at ``resolution``."""
+    if t1 <= t0 or resolution <= 0:
+        raise ValueError("need t1 > t0 and positive resolution")
+    nbins = int(np.ceil((t1 - t0) / resolution))
+    diff = np.zeros(nbins + 1, dtype=np.int64)
+    for load in loads:
+        for s in load.intervals:
+            lo = int(np.ceil((max(s.start, t0) - t0) / resolution))
+            hi = int(np.ceil((min(s.end, t1) - t0) / resolution))
+            if hi > lo:
+                diff[lo] += 1
+                diff[hi] -= 1
+    return np.cumsum(diff[:-1])
+
+
+@dataclass
+class MultiplexReport:
+    """Catalog-level provisioning summary."""
+
+    delay_minutes: float
+    horizon_minutes: float
+    policy: str
+    loads: List[ObjectLoad] = field(default_factory=list)
+
+    @property
+    def peak_channels(self) -> int:
+        return aggregate_peak(self.loads)
+
+    @property
+    def total_units_minutes(self) -> float:
+        return sum(l.total_units_minutes for l in self.loads)
+
+    @property
+    def clients(self) -> int:
+        return sum(l.clients for l in self.loads)
+
+    def busiest_objects(self, k: int = 5) -> List[ObjectLoad]:
+        return sorted(self.loads, key=lambda l: -l.total_units_minutes)[:k]
+
+
+def serve_catalog(
+    catalog: Catalog,
+    delay_minutes: float,
+    horizon_minutes: float,
+    policy: str = "dg",
+    workload: Optional[Dict[str, ArrivalTrace]] = None,
+    params: Optional[DyadicParams] = None,
+) -> MultiplexReport:
+    """Provision a whole catalog under one policy.
+
+    ``policy``: ``"dg"`` (deterministic envelope; workload optional and
+    ignored) or ``"dyadic"`` (requires per-object traces in minutes).
+    """
+    report = MultiplexReport(
+        delay_minutes=delay_minutes,
+        horizon_minutes=horizon_minutes,
+        policy=policy,
+    )
+    if policy == "dg":
+        for obj in catalog:
+            report.loads.append(dg_object_load(obj, delay_minutes, horizon_minutes))
+    elif policy == "dyadic":
+        if workload is None:
+            raise ValueError("dyadic provisioning needs a workload")
+        for obj in catalog:
+            trace = workload.get(
+                obj.name, ArrivalTrace(times=(), horizon=horizon_minutes)
+            )
+            report.loads.append(
+                dyadic_object_load(obj, delay_minutes, trace, params)
+            )
+    else:
+        raise ValueError(f"unknown policy {policy!r}")
+    return report
+
+
+def min_delay_for_budget(
+    catalog: Catalog,
+    horizon_minutes: float,
+    budget_channels: int,
+    candidate_delays: Sequence[float],
+) -> Optional[float]:
+    """Smallest delay guarantee whose DG envelope fits the channel budget.
+
+    The Section 5 knob: the DG peak is deterministic and decreasing in the
+    delay, so the server can *guarantee* it never exceeds the budget while
+    never declining a request.  Returns None when even the largest
+    candidate delay does not fit.
+    """
+    if budget_channels < 1:
+        raise ValueError("budget must be >= 1 channel")
+    for delay in sorted(candidate_delays):
+        report = serve_catalog(catalog, delay, horizon_minutes, policy="dg")
+        if report.peak_channels <= budget_channels:
+            return delay
+    return None

@@ -1,0 +1,53 @@
+"""Event-driven Media-on-Demand server simulator and verification."""
+
+from .client import Client
+from .events import Event, EventQueue
+from .metrics import BandwidthMetrics
+from .policies import (
+    BatchedDyadicPolicy,
+    DelayGuaranteedPolicy,
+    GeneralOfflinePolicy,
+    ImmediateDyadicPolicy,
+    OfflineOptimalPolicy,
+    Policy,
+    PureBatchingPolicy,
+    UnicastPolicy,
+)
+from .hybrid import HybridPolicy
+from .channels import ChannelAssignment, StreamInterval, assign_channels, assign_forest_channels, forest_intervals
+from .server import Simulation, SimulationResult
+from .stream import Stream
+from .verify import (
+    VerificationReport,
+    verify_forest,
+    verify_forest_continuous,
+    verify_simulation,
+)
+
+__all__ = [
+    "BandwidthMetrics",
+    "BatchedDyadicPolicy",
+    "Client",
+    "ChannelAssignment",
+    "DelayGuaranteedPolicy",
+    "GeneralOfflinePolicy",
+    "HybridPolicy",
+    "Event",
+    "EventQueue",
+    "ImmediateDyadicPolicy",
+    "OfflineOptimalPolicy",
+    "Policy",
+    "PureBatchingPolicy",
+    "Simulation",
+    "SimulationResult",
+    "Stream",
+    "StreamInterval",
+    "assign_channels",
+    "assign_forest_channels",
+    "forest_intervals",
+    "UnicastPolicy",
+    "VerificationReport",
+    "verify_forest",
+    "verify_forest_continuous",
+    "verify_simulation",
+]

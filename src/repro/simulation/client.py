@@ -1,0 +1,52 @@
+"""Client entities: playback heads, two-stream tuners, buffer accounting.
+
+Clients in the simulator are bookkeeping objects: the *policy* decides
+which streams exist; a client records which slot it was served in, the
+merge-tree path it was handed, and — for slotted runs — its expected
+buffer high-water mark from Lemma 15, which the simulation cross-checks
+against the receiving-program replay in :mod:`repro.simulation.verify`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+__all__ = ["Client"]
+
+
+@dataclass
+class Client:
+    """One (possibly batched) client request."""
+
+    client_id: int
+    arrival: float  # true arrival time
+    service_time: float  # when its stream group starts (slot end for batching)
+    tree_label: Optional[float] = None  # the merge-tree node serving it
+    path: Tuple[float, ...] = ()
+    receive_channels: int = 2
+    notes: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.service_time < self.arrival:
+            raise ValueError(
+                f"client {self.client_id}: service at {self.service_time} "
+                f"precedes arrival at {self.arrival}"
+            )
+
+    @property
+    def startup_delay(self) -> float:
+        """Experienced start-up delay (slot-end batching makes it <= D)."""
+        return self.service_time - self.arrival
+
+    def assign(self, tree_label: float, path: Tuple[float, ...]) -> None:
+        if self.tree_label is not None:
+            raise RuntimeError(f"client {self.client_id} assigned twice")
+        if path and path[-1] != tree_label:
+            raise ValueError("path must end at the client's own stream label")
+        self.tree_label = tree_label
+        self.path = path
+
+    def merge_hops(self) -> int:
+        """Number of merge operations the client performs (path length - 1)."""
+        return max(0, len(self.path) - 1)

@@ -1,0 +1,105 @@
+"""A small deterministic discrete-event engine.
+
+The substrate under :mod:`repro.simulation.server`: a heap-ordered event
+queue with stable tie-breaking (time, priority, insertion sequence), so
+simulations replay identically run-to-run — important because the paper's
+comparisons are exact bandwidth counts, not stochastic averages.
+
+Events carry an arbitrary callback.  Cancellations are handled lazily via
+tombstones (the usual heapq idiom), keeping both push and pop O(log n).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+__all__ = ["Event", "EventQueue"]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.  Ordering: time, then priority, then FIFO."""
+
+    time: float
+    priority: int
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class EventQueue:
+    """Heap-based future event list with a monotonic clock."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self.now: float = 0.0
+        self._processed = 0
+
+    def __len__(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    @property
+    def processed(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    def schedule(
+        self, time: float, action: Callable[[], None], priority: int = 0
+    ) -> Event:
+        """Schedule ``action`` at ``time`` (>= now).  Lower priority first."""
+        if math.isnan(time):
+            raise ValueError("event time is NaN")
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule in the past: {time} < now = {self.now}"
+            )
+        event = Event(time=time, priority=priority, seq=next(self._counter), action=action)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event, or None when drained."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def step(self) -> bool:
+        """Run the next live event.  Returns False when the queue is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            self._processed += 1
+            event.action()
+            return True
+        return False
+
+    def run(self, until: float = math.inf, max_events: Optional[int] = None) -> None:
+        """Drain events with time <= ``until`` (inclusive).
+
+        ``max_events`` guards against runaway self-scheduling loops.
+        """
+        executed = 0
+        while True:
+            nxt = self.peek_time()
+            if nxt is None or nxt > until:
+                break
+            self.step()
+            executed += 1
+            if max_events is not None and executed >= max_events:
+                raise RuntimeError(
+                    f"exceeded max_events = {max_events}; "
+                    "simulation appears to be diverging"
+                )
+        # Advance the clock to the horizon even if nothing fired at it.
+        if math.isfinite(until) and until > self.now:
+            self.now = until

@@ -1,0 +1,109 @@
+"""Bandwidth metrics for simulation runs.
+
+The paper's headline metric is *total server bandwidth* in stream-slot
+units (equivalently "number of complete media streams served" = units/L,
+the Fig. 1 y-axis; or average bandwidth = units/n).  The simulator also
+reports what the analytic formulas cannot: the concurrent-stream (channel)
+profile over time and its peak, which Section 5 flags as the quantity that
+matters for servers carrying many media objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+__all__ = ["BandwidthMetrics"]
+
+
+@dataclass
+class BandwidthMetrics:
+    """Accumulates per-stream usage intervals and summarises them."""
+
+    L: float
+    intervals: List[Tuple[float, float]] = field(default_factory=list)
+    streams_started: int = 0
+    roots_started: int = 0
+    clients_served: int = 0
+
+    def record_stream(self, start: float, end: float, is_root: bool) -> None:
+        if end < start:
+            raise ValueError(f"stream interval reversed: [{start}, {end}]")
+        self.intervals.append((start, end))
+        self.streams_started += 1
+        if is_root:
+            self.roots_started += 1
+
+    def record_client(self) -> None:
+        self.clients_served += 1
+
+    # -- summaries ----------------------------------------------------------
+
+    @property
+    def total_units(self) -> float:
+        """Total bandwidth in slot units (the paper's Fcost)."""
+        total = sum(e - s for s, e in self.intervals)
+        return int(total) if float(total).is_integer() else total
+
+    @property
+    def streams_served(self) -> float:
+        """Bandwidth in complete-media units: ``total_units / L`` (Fig. 1)."""
+        return self.total_units / self.L
+
+    def average_bandwidth(self) -> float:
+        """Units per served client (``Fcost / n``)."""
+        if self.clients_served == 0:
+            return 0.0
+        return self.total_units / self.clients_served
+
+    def concurrency_profile(
+        self, t0: float, t1: float, resolution: float = 1.0
+    ) -> np.ndarray:
+        """Concurrent active streams sampled on ``[t0, t1)``.
+
+        Sample points are the left edges of bins of width ``resolution``;
+        a stream [s, e) counts at sample t iff s <= t < e.  Vectorised:
+        difference-array over bin indices.
+        """
+        if t1 <= t0 or resolution <= 0:
+            raise ValueError("need t1 > t0 and positive resolution")
+        nbins = int(np.ceil((t1 - t0) / resolution))
+        diff = np.zeros(nbins + 1, dtype=np.int64)
+        for s, e in self.intervals:
+            lo = int(np.ceil((max(s, t0) - t0) / resolution))
+            hi = int(np.ceil((min(e, t1) - t0) / resolution))
+            if hi > lo:
+                diff[lo] += 1
+                diff[hi] -= 1
+        return np.cumsum(diff[:-1])
+
+    def peak_concurrency(self) -> int:
+        """Maximum number of simultaneously active streams (exact).
+
+        Sweep over interval endpoints; half-open [s, e) so a stream ending
+        exactly when another starts does not overlap it.
+        """
+        events: List[Tuple[float, int]] = []
+        for s, e in self.intervals:
+            if e > s:
+                events.append((s, 1))
+                events.append((e, -1))
+        events.sort(key=lambda p: (p[0], p[1]))  # ends (-1) before starts at ties
+        level = peak = 0
+        for _, delta in events:
+            level += delta
+            peak = max(peak, level)
+        return peak
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "total_units": float(self.total_units),
+            "streams_served": float(self.streams_served),
+            "streams_started": float(self.streams_started),
+            "roots_started": float(self.roots_started),
+            "clients_served": float(self.clients_served),
+            "avg_bandwidth_per_client": float(self.average_bandwidth()),
+            "peak_concurrency": float(self.peak_concurrency()),
+        }

@@ -1,0 +1,89 @@
+"""Stream entities: staggered multicasts of a prefix of the media.
+
+A stream started at time ``x`` broadcasts media position ``tau - x`` at
+time ``tau`` (slot view: part ``j`` occupies ``[x+j-1, x+j]``).  Streams
+are always *prefixes* of the transmission — they start at part 1 and run
+continuously until truncated.  Merging policies extend a live stream's
+planned end as later clients join its subtree (Lemma 1: the stream for
+node ``x`` must run ``2 z(x) - x - p(x)`` units); the invariant that a
+stream is only ever extended while still running is asserted here, because
+a stopped multicast cannot retroactively resume its prefix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["Stream"]
+
+
+@dataclass
+class Stream:
+    """One multicast stream and its (mutable) planned truncation point."""
+
+    stream_id: int
+    label: float  # the arrival (slot or real time) whose clients it serves
+    start: float
+    planned_units: float  # current planned length in slot units
+    is_root: bool
+    parent_label: Optional[float] = None
+    #: set when the stream's end has been finalised (units actually spent)
+    finished_units: Optional[float] = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.planned_units < 0:
+            raise ValueError(f"planned_units must be >= 0, got {self.planned_units}")
+        if self.is_root != (self.parent_label is None):
+            raise ValueError("roots and only roots have no parent")
+
+    @property
+    def planned_end(self) -> float:
+        return self.start + self.planned_units
+
+    def active_at(self, t: float) -> bool:
+        """Live during ``[start, planned_end)`` until finished."""
+        end = self.start + (
+            self.finished_units if self.finished_units is not None else self.planned_units
+        )
+        return self.start <= t < end
+
+    def position_at(self, t: float) -> float:
+        """Media position being broadcast at time ``t`` (must be active)."""
+        if not self.active_at(t):
+            raise ValueError(f"stream {self.stream_id} not active at {t}")
+        return t - self.start
+
+    def extend_to_units(self, units: float, now: float) -> None:
+        """Raise the planned length (merging policies call this as z(x) grows).
+
+        Rejects extension of an already-dead stream — a multicast that has
+        gone silent cannot resume its prefix (see module docstring).
+        """
+        if self.finished_units is not None:
+            raise RuntimeError(
+                f"stream {self.stream_id} already finished; cannot extend"
+            )
+        if now > self.planned_end:
+            raise RuntimeError(
+                f"stream {self.stream_id} ended at {self.planned_end} "
+                f"(< now = {now}); resurrection is not allowed"
+            )
+        if units < self.planned_units:
+            raise ValueError(
+                f"cannot shrink stream {self.stream_id}: "
+                f"{units} < {self.planned_units}"
+            )
+        self.planned_units = units
+
+    def finish(self, now: float) -> float:
+        """Finalise the stream at its planned end; returns units spent."""
+        if self.finished_units is not None:
+            raise RuntimeError(f"stream {self.stream_id} finished twice")
+        if now < self.planned_end:
+            raise RuntimeError(
+                f"stream {self.stream_id} finishing early at {now} "
+                f"(planned end {self.planned_end})"
+            )
+        self.finished_units = self.planned_units
+        return self.finished_units

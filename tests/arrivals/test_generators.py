@@ -1,0 +1,110 @@
+"""Tests for workload generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arrivals import bursty, constant_rate, every_slot, poisson, rng_from
+
+
+class TestConstantRate:
+    def test_counts(self):
+        t = constant_rate(0.5, 100.0)
+        assert len(t) == 200
+        assert t.times[0] == 0.0
+        assert t.times[1] == 0.5
+
+    def test_offset(self):
+        t = constant_rate(1.0, 5.0, offset=0.25)
+        assert t.times == (0.25, 1.25, 2.25, 3.25, 4.25)
+
+    def test_gap_exact(self):
+        t = constant_rate(2.5, 50.0)
+        gaps = np.diff(t.times)
+        assert np.allclose(gaps, 2.5)
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            constant_rate(0, 10.0)
+        with pytest.raises(ValueError):
+            constant_rate(1.0, 10.0, offset=10.0)
+
+
+class TestPoisson:
+    def test_seeded_reproducibility(self):
+        a = poisson(1.5, 300.0, seed=11)
+        b = poisson(1.5, 300.0, seed=11)
+        assert a.times == b.times
+
+    def test_different_seeds_differ(self):
+        a = poisson(1.5, 300.0, seed=11)
+        b = poisson(1.5, 300.0, seed=12)
+        assert a.times != b.times
+
+    def test_mean_interarrival_statistics(self):
+        # With ~6000 arrivals, the sample mean is within ~5% of the target.
+        t = poisson(0.5, 3000.0, seed=0)
+        assert abs(t.mean_interarrival() - 0.5) < 0.025
+
+    def test_all_in_horizon_strictly_increasing(self):
+        t = poisson(0.1, 100.0, seed=3)
+        arr = np.asarray(t.times)
+        assert (np.diff(arr) > 0).all()
+        assert arr[0] >= 0 and arr[-1] < 100.0
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(5)
+        t1 = poisson(1.0, 50.0, seed=g)
+        # same generator continues its sequence -> different trace
+        t2 = poisson(1.0, 50.0, seed=g)
+        assert t1.times != t2.times
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            poisson(0, 10.0)
+
+
+class TestEverySlot:
+    def test_canonical(self):
+        t = every_slot(5)
+        assert t.times == (0, 1, 2, 3, 4)
+        assert t.horizon == 5
+        assert t.slotted(1.0) == [0, 1, 2, 3, 4]
+
+    def test_scaled(self):
+        t = every_slot(3, slot=2.0)
+        assert t.times == (0.0, 2.0, 4.0)
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            every_slot(0)
+
+
+class TestBursty:
+    def test_strictly_increasing(self):
+        t = bursty(1.0, 500.0, burst_size=5, burst_spread=0.5, seed=2)
+        arr = np.asarray(t.times)
+        assert (np.diff(arr) > 0).all()
+
+    def test_burstiness_vs_poisson(self):
+        # Variance of slot counts should exceed Poisson's at equal rate.
+        b = bursty(0.5, 2000.0, burst_size=10, burst_spread=1.0, seed=4)
+        p = poisson(0.5, 2000.0, seed=4)
+        vb = np.var(b.slot_counts(5.0))
+        vp = np.var(p.slot_counts(5.0))
+        assert vb > vp
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            bursty(1.0, 10.0, burst_size=0, burst_spread=1.0)
+        with pytest.raises(ValueError):
+            bursty(1.0, 10.0, burst_size=2, burst_spread=0.0)
+
+
+class TestRngFrom:
+    def test_coercions(self):
+        g = np.random.default_rng(1)
+        assert rng_from(g) is g
+        assert isinstance(rng_from(7), np.random.Generator)
+        assert isinstance(rng_from(None), np.random.Generator)

@@ -1,0 +1,81 @@
+"""Tests for trace serialization."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given
+
+from repro.arrivals import ArrivalTrace, poisson
+from repro.arrivals.serialization import (
+    load_trace,
+    save_trace,
+    trace_from_json,
+    trace_to_json,
+)
+
+from tests.conftest import increasing_times
+
+
+class TestRoundTrip:
+    def test_simple(self):
+        t = ArrivalTrace(times=(0.5, 1.25, 7.0), horizon=10.0)
+        assert trace_from_json(trace_to_json(t)) == t
+
+    def test_empty(self):
+        t = ArrivalTrace(times=(), horizon=3.0)
+        assert trace_from_json(trace_to_json(t)) == t
+
+    def test_poisson_exact(self):
+        t = poisson(0.9, 200.0, seed=5)
+        back = trace_from_json(trace_to_json(t))
+        assert back.times == t.times
+        assert back.horizon == t.horizon
+
+    @given(increasing_times(min_size=0, max_size=30, horizon=50.0))
+    def test_property_roundtrip(self, times):
+        t = ArrivalTrace(times=tuple(times), horizon=50.0)
+        assert trace_from_json(trace_to_json(t)) == t
+
+    def test_meta_carried(self):
+        t = ArrivalTrace(times=(1.0,), horizon=2.0)
+        doc = json.loads(trace_to_json(t, meta={"seed": 7, "kind": "poisson"}))
+        assert doc["meta"]["seed"] == 7
+
+
+class TestFiles:
+    def test_save_load(self, tmp_path):
+        t = poisson(1.5, 60.0, seed=3)
+        path = tmp_path / "trace.json"
+        save_trace(t, path, meta={"note": "test"})
+        assert load_trace(path) == t
+
+    def test_load_accepts_str_path(self, tmp_path):
+        t = ArrivalTrace(times=(0.5,), horizon=1.0)
+        path = tmp_path / "t.json"
+        save_trace(t, str(path))
+        assert load_trace(str(path)) == t
+
+
+class TestValidation:
+    def test_wrong_schema(self):
+        with pytest.raises(ValueError, match="schema"):
+            trace_from_json(json.dumps({"schema": "something-else", "times": []}))
+
+    def test_count_mismatch(self):
+        doc = json.loads(trace_to_json(ArrivalTrace(times=(1.0,), horizon=2.0)))
+        doc["count"] = 5
+        with pytest.raises(ValueError, match="corrupt"):
+            trace_from_json(json.dumps(doc))
+
+    def test_invalid_times_rejected_on_load(self):
+        doc = {
+            "schema": "repro.arrival-trace.v1",
+            "horizon": 2.0,
+            "count": 2,
+            "times": [1.0, 1.0],
+            "meta": {},
+        }
+        with pytest.raises(ValueError):
+            trace_from_json(json.dumps(doc))

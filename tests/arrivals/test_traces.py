@@ -1,0 +1,101 @@
+"""Tests for ArrivalTrace slotting and statistics."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.arrivals import ArrivalTrace
+
+from tests.conftest import increasing_times
+
+
+class TestValidation:
+    def test_requires_increasing(self):
+        with pytest.raises(ValueError):
+            ArrivalTrace(times=(1.0, 1.0), horizon=5.0)
+        with pytest.raises(ValueError):
+            ArrivalTrace(times=(2.0, 1.0), horizon=5.0)
+
+    def test_requires_in_window(self):
+        with pytest.raises(ValueError):
+            ArrivalTrace(times=(-0.1,), horizon=5.0)
+        with pytest.raises(ValueError):
+            ArrivalTrace(times=(5.0,), horizon=5.0)
+
+    def test_requires_positive_horizon(self):
+        with pytest.raises(ValueError):
+            ArrivalTrace(times=(), horizon=0.0)
+
+    def test_empty_ok(self):
+        t = ArrivalTrace(times=(), horizon=3.0)
+        assert t.is_empty()
+        assert len(t) == 0
+        assert math.isnan(t.mean_interarrival())
+
+
+class TestStats:
+    def test_rate_and_mean(self):
+        t = ArrivalTrace(times=(0.0, 1.0, 2.0, 3.0), horizon=8.0)
+        assert t.rate() == 0.5
+        assert t.mean_interarrival() == 1.0
+
+
+class TestSlotting:
+    def test_slot_counts(self):
+        t = ArrivalTrace(times=(0.2, 0.7, 3.5), horizon=5.0)
+        assert list(t.slot_counts(1.0)) == [2, 0, 0, 1, 0]
+
+    def test_slotted(self):
+        t = ArrivalTrace(times=(0.2, 0.7, 3.5), horizon=5.0)
+        assert t.slotted(1.0) == [0, 3]
+        assert t.slotted(1.0, keep_empty=True) == [0, 1, 2, 3, 4]
+        assert t.slot_end_times(1.0) == [1.0, 4.0]
+
+    def test_coarse_slots(self):
+        t = ArrivalTrace(times=(0.2, 0.7, 3.5), horizon=5.0)
+        assert t.num_slots(2.5) == 2
+        assert list(t.slot_counts(2.5)) == [2, 1]
+
+    def test_bad_slot(self):
+        t = ArrivalTrace(times=(), horizon=5.0)
+        with pytest.raises(ValueError):
+            t.num_slots(0)
+
+    @given(increasing_times(min_size=0, max_size=50, horizon=100.0))
+    def test_counts_conserve_clients(self, times):
+        t = ArrivalTrace(times=tuple(times), horizon=100.0)
+        for slot in (1.0, 2.0, 7.5):
+            assert int(t.slot_counts(slot).sum()) == len(times)
+
+    @given(increasing_times(min_size=1, max_size=50, horizon=100.0))
+    def test_nonempty_slots_subset_of_all(self, times):
+        t = ArrivalTrace(times=tuple(times), horizon=100.0)
+        nonempty = set(t.slotted(1.0))
+        assert nonempty <= set(t.slotted(1.0, keep_empty=True))
+        assert len(nonempty) <= len(times)
+
+
+class TestSurgery:
+    def test_restrict(self):
+        t = ArrivalTrace(times=(1.0, 2.0, 7.0), horizon=10.0)
+        sub = t.restrict(1.5, 8.0)
+        assert sub.times == (0.5, 5.5)
+        assert sub.horizon == 6.5
+        with pytest.raises(ValueError):
+            t.restrict(5.0, 3.0)
+
+    def test_merged_with(self):
+        a = ArrivalTrace(times=(1.0, 3.0), horizon=5.0)
+        b = ArrivalTrace(times=(2.0, 3.0), horizon=6.0)
+        m = a.merged_with(b)
+        assert m.times == (1.0, 2.0, 3.0)
+        assert m.horizon == 6.0
+
+    def test_from_times(self):
+        t = ArrivalTrace.from_times([0.5, 1.5], 3.0)
+        assert t.times == (0.5, 1.5)

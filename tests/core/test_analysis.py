@@ -1,0 +1,120 @@
+"""Tests for merge-tree/forest analytics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.analysis import (
+    bandwidth_timeline,
+    forest_stats,
+    is_fibonacci_tree,
+    merge_hop_histogram,
+    tree_stats,
+)
+from repro.core.full_cost import build_optimal_forest
+from repro.core.merge_tree import MergeForest, chain_tree, star_tree
+from repro.core.offline import build_optimal_tree, fibonacci_tree
+from repro.core.online import build_online_forest, shift_tree
+
+from tests.conftest import preorder_tree
+
+
+class TestTreeStats:
+    def test_chain(self):
+        s = tree_stats(chain_tree(range(5)))
+        assert s.height == 4
+        assert s.max_fanout == 1
+        assert s.leaves == 1
+        assert s.internal == 4
+        assert s.mean_depth == 2.0
+
+    def test_star(self):
+        s = tree_stats(star_tree(range(5)))
+        assert s.height == 1
+        assert s.max_fanout == 4
+        assert s.leaves == 4
+        assert s.mean_depth == 0.8
+
+    def test_paper_tree(self, paper_tree8):
+        s = tree_stats(paper_tree8)
+        assert s.n == 8
+        assert s.height == 2
+        assert s.merge_cost == 21
+
+    @settings(max_examples=40, deadline=None)
+    @given(preorder_tree(max_n=20))
+    def test_invariants(self, tree):
+        s = tree_stats(tree)
+        assert 1 <= s.leaves <= s.n
+        assert 0 <= s.height < s.n
+        assert 0 <= s.mean_depth <= s.height
+        assert s.merge_cost == tree.merge_cost()
+
+
+class TestForestStats:
+    def test_aggregate(self):
+        forest = build_optimal_forest(15, 14)
+        agg = forest_stats(forest)
+        assert agg["trees"] == 2
+        assert agg["arrivals"] == 14
+        assert agg["merge_cost"] == 34
+
+
+class TestFibonacciDetection:
+    @pytest.mark.parametrize("k", [2, 3, 4, 5, 6, 7])
+    def test_canonical_trees_detected(self, k):
+        assert is_fibonacci_tree(fibonacci_tree(k))
+
+    def test_shifted_tree_detected(self):
+        assert is_fibonacci_tree(shift_tree(fibonacci_tree(6), 100))
+
+    def test_non_fib_size_rejected(self):
+        assert not is_fibonacci_tree(build_optimal_tree(7))
+
+    def test_fib_size_wrong_shape_rejected(self):
+        assert not is_fibonacci_tree(chain_tree(range(8)))
+        assert not is_fibonacci_tree(star_tree(range(8)))
+
+    def test_non_consecutive_arrivals_rejected(self):
+        assert not is_fibonacci_tree(star_tree([0, 2]))
+
+
+class TestHistogram:
+    def test_depth_counts(self, paper_tree8):
+        forest = MergeForest([paper_tree8])
+        hist = merge_hop_histogram(forest)
+        assert hist[0] == 1  # the root client
+        assert sum(hist.values()) == 8
+        assert max(hist) == 2  # height
+
+    def test_online_forest_depth_bounded(self):
+        forest = build_online_forest(100, 550)
+        hist = merge_hop_histogram(forest)
+        # Fibonacci tree of 55 nodes has depth <= ~log_phi(55)
+        assert max(hist) <= 9
+
+
+class TestTimeline:
+    def test_breakpoints(self):
+        forest = MergeForest([star_tree([0, 1, 2])])
+        # streams: root [0, 10), 1 -> [1, 2), 2 -> [2, 4)
+        tl = bandwidth_timeline(forest, 10)
+        assert tl[0] == (0, 1)
+        as_dict = dict(tl)
+        assert as_dict[1] == 2
+        assert as_dict[2] == 2  # stream 1 ends exactly as stream 2 starts
+        assert as_dict[10] == 0
+
+    def test_peak_matches_channels(self):
+        from repro.simulation.channels import assign_forest_channels
+
+        forest = build_optimal_forest(15, 57)
+        tl = bandwidth_timeline(forest, 15)
+        peak = max(level for _, level in tl)
+        assert peak == assign_forest_channels(forest, 15).num_channels
+
+    def test_ends_at_zero(self):
+        forest = build_optimal_forest(12, 30)
+        tl = bandwidth_timeline(forest, 12)
+        assert tl[-1][1] == 0

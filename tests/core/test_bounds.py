@@ -1,0 +1,87 @@
+"""Tests for the analytic bounds module (Theorems 8/13/14/19/21/22)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import bounds
+from repro.core.full_cost import optimal_full_cost
+from repro.core.offline import merge_cost
+
+
+class TestLogPhi:
+    def test_values(self):
+        from repro.core.fibonacci import PHI
+
+        assert math.isclose(bounds.log_phi(PHI), 1.0, rel_tol=1e-9)
+        assert math.isclose(bounds.log_phi(1.0), 0.0)
+
+    def test_error(self):
+        with pytest.raises(ValueError):
+            bounds.log_phi(0)
+
+
+class TestTheorem8Sandwich:
+    @given(st.integers(min_value=2, max_value=2_000_000))
+    def test_bounds_hold(self, n):
+        m = merge_cost(n)
+        assert bounds.merge_cost_lower(n) <= m <= bounds.merge_cost_upper(n)
+
+    def test_normalised_ratio_tends_to_one(self):
+        r = [merge_cost(n) / (n * bounds.log_phi(n)) for n in (100, 10_000, 1_000_000)]
+        assert all(abs(x - 1) < 0.35 for x in r)
+        assert abs(r[-1] - 1) < abs(r[0] - 1)
+
+    def test_n1(self):
+        assert bounds.merge_cost_upper(1) == 0.0
+        assert bounds.merge_cost_lower(1) == 0.0
+
+
+class TestTheorem13LeadingTerm:
+    def test_full_cost_order(self):
+        # F(L, n) / (n log_phi L) bounded above and below by constants
+        for L in (8, 32, 128):
+            n = 50 * L
+            f = optimal_full_cost(L, n)
+            lead = bounds.full_cost_leading_term(L, n)
+            assert 0.5 < f / lead < 3.0, (L, f / lead)
+
+    def test_tiny_L(self):
+        assert bounds.full_cost_leading_term(1, 100) == 0.0
+
+
+class TestTheorem14:
+    def test_gain_grows(self):
+        gains = []
+        for L in (8, 64, 512):
+            n = 10 * L
+            gains.append(bounds.batching_cost(L, n) / optimal_full_cost(L, n))
+        assert gains[0] < gains[1] < gains[2]
+
+    def test_gain_order_ratio_stable(self):
+        ratios = []
+        for L in (64, 256, 1024):
+            n = 10 * L
+            gain = bounds.batching_cost(L, n) / optimal_full_cost(L, n)
+            ratios.append(gain / bounds.batching_gain_order(L))
+        # Theta-ratio stays within a tight band
+        assert max(ratios) / min(ratios) < 1.5
+
+    def test_batching_cost(self):
+        assert bounds.batching_cost(10, 7) == 70
+        assert bounds.batching_gain_order(1) == 1.0
+
+
+class TestTheorem22Bound:
+    def test_values(self):
+        assert bounds.online_ratio_bound(10, 100) == 1.2
+        assert bounds.online_ratio_bound_applies(7, 52)
+        assert not bounds.online_ratio_bound_applies(6, 1000)
+        assert not bounds.online_ratio_bound_applies(10, 102)
+
+    def test_constant(self):
+        assert math.isclose(bounds.RECEIVE_ALL_GAIN, 1.4404, abs_tol=1e-4)

@@ -1,0 +1,111 @@
+"""Tests for limited buffer sizes (Section 3.3: Lemma 15, Theorem 16)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import buffers as bu
+from repro.core.full_cost import build_optimal_forest, optimal_full_cost
+from repro.core.offline import build_optimal_tree
+from repro.core.receiving_program import receive_two_program
+
+
+class TestLemma15:
+    def test_values(self):
+        assert bu.buffer_requirement(0, 0, 15) == 0
+        assert bu.buffer_requirement(7, 0, 15) == 7
+        assert bu.buffer_requirement(8, 0, 15) == 7
+        assert bu.buffer_requirement(14, 0, 15) == 1
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            bu.buffer_requirement(-1, 0, 15)
+        with pytest.raises(ValueError):
+            bu.buffer_requirement(15, 0, 15)  # beyond L-1
+
+    def test_symmetry_peak_at_half(self):
+        L = 20
+        needs = [bu.buffer_requirement(x, 0, L) for x in range(L)]
+        assert max(needs) == L // 2
+        assert needs == [min(x, L - x) for x in range(L)]
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=2, max_value=34))
+    def test_matches_receiving_program_replay(self, n):
+        """Lemma 15 equals the measured buffer peak in actual schedules."""
+        L = 2 * n  # plenty of room
+        tree = build_optimal_tree(n)
+        for x in range(n):
+            prog = receive_two_program(tree, x, L)
+            assert prog.max_buffer() == bu.buffer_requirement(x, 0, L), x
+
+    def test_tree_helpers(self, paper_tree8):
+        needs = bu.tree_buffer_requirements(paper_tree8, 15)
+        assert needs[7] == 7
+        assert bu.max_buffer_requirement(paper_tree8, 15) == 7
+
+
+class TestBoundedForest:
+    def test_bound_respected(self):
+        L, n, B = 40, 100, 10
+        forest = bu.build_optimal_bounded_forest(L, n, B)
+        for tree in forest:
+            assert tree.span() <= B
+        ok, violations = bu.verify_buffer_bound(forest, L, B)
+        assert ok, violations
+
+    def test_cost_at_least_unbounded(self):
+        for L, n, B in [(40, 100, 10), (100, 300, 7), (30, 64, 4)]:
+            bounded = bu.optimal_bounded_full_cost(L, n, B)
+            assert bounded >= optimal_full_cost(L, n)
+
+    def test_loose_bound_recovers_unbounded(self):
+        # When B exceeds the largest span of the unbounded optimum, the
+        # bounded cost equals the unbounded one.
+        L, n = 30, 120
+        unb = build_optimal_forest(L, n)
+        max_span = max(int(t.span()) for t in unb)
+        B = max_span  # still must satisfy 2B <= L for the bounded solver
+        if 2 * B <= L:
+            assert bu.optimal_bounded_full_cost(L, n, B) == optimal_full_cost(L, n)
+
+    def test_monotone_in_B(self):
+        L, n = 60, 200
+        costs = [bu.optimal_bounded_full_cost(L, n, B) for B in range(1, 31)]
+        assert all(a >= b for a, b in zip(costs, costs[1:]))
+
+    def test_B1_is_pairing(self):
+        # B = 1: trees of at most 2 consecutive arrivals.
+        L, n = 10, 9
+        forest = bu.build_optimal_bounded_forest(L, n, 1)
+        assert all(len(t) <= 2 for t in forest)
+        # cost: ceil(n/2) roots * L + floor(n/2) merges of length 1
+        assert forest.full_cost(L) == 5 * L + 4
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            bu.optimal_bounded_full_cost(10, 5, 6)  # B > L/2
+        with pytest.raises(ValueError):
+            bu.optimal_bounded_full_cost(10, 0, 2)
+        with pytest.raises(ValueError):
+            bu.optimal_bounded_full_cost(0, 5, 2)
+        with pytest.raises(ValueError):
+            bu.bounded_full_cost_given_streams(10, 20, 3, 2)  # too few streams
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(min_value=4, max_value=30),
+        st.integers(min_value=1, max_value=80),
+    )
+    def test_bounded_brute_force(self, L, n):
+        B = L // 2
+        if B < 1:
+            return
+        s_min = -(-n // (B + 1))
+        brute = min(
+            bu.bounded_full_cost_given_streams(L, n, B, s)
+            for s in range(s_min, n + 1)
+        )
+        assert bu.optimal_bounded_full_cost(L, n, B) == brute

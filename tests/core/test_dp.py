@@ -1,0 +1,145 @@
+"""Tests for the O(n^2) dynamic-programming reference solvers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import dp
+
+PAPER_M = [0, 1, 3, 6, 9, 13, 17, 21, 26, 31, 36, 41, 46, 52, 58, 64]
+PAPER_MW = [0, 1, 3, 5, 8, 11, 14, 17, 21, 25, 29, 33, 37, 41, 45, 49]
+
+
+class TestMergeCostDP:
+    def test_paper_table(self):
+        assert [dp.merge_cost(n) for n in range(1, 17)] == PAPER_M
+
+    def test_table_prefix_consistency(self):
+        table = dp.merge_cost_table(50)
+        for n in range(1, 51):
+            assert table[n] == dp.merge_cost(n)
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            dp.merge_cost(0)
+        with pytest.raises(ValueError):
+            dp.merge_cost_table(-1)
+
+    def test_monotone_increasing(self):
+        table = dp.merge_cost_table(200)
+        assert all(table[i] < table[i + 1] for i in range(1, 200))
+
+    def test_convexity_inequality_12(self):
+        # Inequality (12): M(i+1) + M(j-1) <= M(i) + M(j) for i < j.
+        table = dp.merge_cost_table(80)
+        for i in range(1, 60):
+            for j in range(i + 1, 80):
+                assert table[i + 1] + table[j - 1] <= table[i] + table[j]
+
+
+class TestArgminSets:
+    def test_small_sets(self):
+        sets = dp.argmin_sets(8)
+        assert sets[0] == []  # I(1) empty
+        assert sets[1] == [1]  # I(2)
+        assert sets[2] == [2]  # I(3)
+        assert sets[3] == [2, 3]  # I(4) — the two trees of Fig. 6
+        assert sets[7] == [5]  # I(8) — unique Fibonacci split
+
+    def test_sets_are_intervals(self):
+        for n, s in enumerate(dp.argmin_sets(120), start=1):
+            if n == 1:
+                continue
+            assert s == list(range(s[0], s[-1] + 1)), f"I({n}) not contiguous"
+
+    def test_argmin_set_single(self):
+        assert dp.argmin_set(8) == [5]
+
+
+class TestTreeReconstruction:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 8, 13, 21, 34, 47, 60])
+    def test_tree_cost_matches_dp(self, n):
+        tree = dp.build_optimal_tree_dp(n)
+        assert len(tree) == n
+        assert tree.merge_cost() == dp.merge_cost(n)
+        assert tree.has_preorder_property()
+
+    def test_prefer_min_also_optimal(self):
+        for n in (4, 6, 10, 11):
+            t = dp.build_optimal_tree_dp(n, prefer_max=False)
+            assert t.merge_cost() == dp.merge_cost(n)
+
+    def test_start_offset(self):
+        t = dp.build_optimal_tree_dp(5, start=10)
+        assert t.arrivals() == [10, 11, 12, 13, 14]
+        assert t.merge_cost() == dp.merge_cost(5)
+
+
+class TestReceiveAllDP:
+    def test_paper_table(self):
+        assert [dp.receive_all_cost(n) for n in range(1, 17)] == PAPER_MW
+
+    def test_balanced_split_argmin(self):
+        # The paper: minimum at h = floor(n/2) and ceil(n/2) (and only there
+        # the *cost* is achieved; other h may tie for some n — check the
+        # balanced ones are always included).
+        sets = dp.receive_all_argmin_sets(60)
+        for n in range(2, 61):
+            s = sets[n - 1]
+            assert n // 2 in s
+            assert -(-n // 2) in s
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 7, 8, 16, 31, 32, 33, 60])
+    def test_tree_reconstruction(self, n):
+        t = dp.build_optimal_tree_dp_receive_all(n)
+        assert len(t) == n
+        assert t.merge_cost_receive_all() == dp.receive_all_cost(n)
+        assert t.has_preorder_property()
+
+
+class TestGeneralArrivals:
+    def test_empty_and_single(self):
+        assert dp.general_arrivals_cost([]) == 0
+        assert dp.general_arrivals_cost([3.5]) == 0
+
+    def test_slotted_matches_uniform(self):
+        for n in (2, 3, 5, 8, 12):
+            assert dp.general_arrivals_cost(list(range(n))) == dp.merge_cost(n)
+
+    def test_shift_invariance(self):
+        base = dp.general_arrivals_cost([0, 1, 3, 4, 9])
+        shifted = dp.general_arrivals_cost([10, 11, 13, 14, 19])
+        assert base == shifted
+
+    def test_scale_linearity(self):
+        base = dp.general_arrivals_cost([0, 1, 3, 4, 9])
+        scaled = dp.general_arrivals_cost([0, 2, 6, 8, 18])
+        assert scaled == 2 * base
+
+    def test_two_arrivals(self):
+        # one merge: l = gap
+        assert dp.general_arrivals_cost([0.0, 2.5]) == 2.5
+
+    def test_requires_increasing(self):
+        with pytest.raises(ValueError):
+            dp.general_arrivals_cost([0, 0])
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=40),
+            min_size=2,
+            max_size=8,
+            unique=True,
+        )
+    )
+    def test_general_lower_bounds_any_tree(self, times):
+        """The DP optimum lower-bounds the chain and star trees."""
+        from repro.core.merge_tree import chain_tree, star_tree
+
+        ts = sorted(times)
+        opt = dp.general_arrivals_cost(ts)
+        assert opt <= chain_tree(ts).merge_cost()
+        assert opt <= star_tree(ts).merge_cost()

@@ -1,0 +1,115 @@
+"""Tests for general-arrivals optimal stream merging (core.general)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import dp, offline
+from repro.core.full_cost import optimal_full_cost
+from repro.core.general import (
+    optimal_forest_general,
+    optimal_full_cost_general,
+    optimal_merge_cost_general,
+    optimal_merge_tree_general,
+)
+from repro.simulation.verify import verify_forest, verify_forest_continuous
+
+from tests.conftest import increasing_times
+
+
+class TestReducesToUniformCase:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 8, 13, 20, 34])
+    def test_merge_cost(self, n):
+        assert optimal_merge_cost_general(list(range(n))) == (
+            0 if n == 1 else offline.merge_cost(n)
+        )
+
+    @pytest.mark.parametrize("n", [2, 5, 8, 13, 21])
+    def test_tree_cost(self, n):
+        tree = optimal_merge_tree_general(list(range(n)))
+        assert tree.merge_cost() == offline.merge_cost(n)
+        assert tree.has_preorder_property()
+
+    @pytest.mark.parametrize("L,n", [(15, 8), (15, 14), (4, 16), (10, 40)])
+    def test_full_cost(self, L, n):
+        assert optimal_full_cost_general(list(range(n)), L) == optimal_full_cost(L, n)
+
+
+class TestIrregularArrivals:
+    def test_matches_dp_oracle(self):
+        cases = [
+            [0, 1, 3, 4, 9],
+            [0.0, 0.5, 2.5, 2.75, 10.0],
+            [0, 2, 5, 11, 12, 20, 21],
+        ]
+        for ts in cases:
+            tree = optimal_merge_tree_general(ts)
+            assert tree.merge_cost() == pytest.approx(dp.general_arrivals_cost(ts))
+
+    @settings(max_examples=30, deadline=None)
+    @given(increasing_times(min_size=1, max_size=12, horizon=60.0))
+    def test_tree_cost_equals_dp(self, times):
+        tree = optimal_merge_tree_general(times)
+        assert tree.merge_cost() == pytest.approx(dp.general_arrivals_cost(times))
+        assert tree.has_preorder_property()
+
+    @settings(max_examples=20, deadline=None)
+    @given(increasing_times(min_size=1, max_size=10, horizon=60.0))
+    def test_forest_playable(self, times):
+        L = 100.0
+        forest = optimal_forest_general(times, L)
+        assert forest.arrivals() == sorted(times)
+        verify_forest_continuous(forest, L).raise_if_failed()
+
+    def test_integer_slots_playable_exact(self):
+        ends = [1, 2, 5, 9, 10, 11, 20]
+        forest = optimal_forest_general(ends, 25)
+        verify_forest(forest, 25).raise_if_failed()
+
+
+class TestRootPlacement:
+    def test_span_constraint_forces_roots(self):
+        # gaps wider than L-1 require separate roots
+        ts = [0, 1, 50, 51]
+        forest = optimal_forest_general(ts, 10)
+        assert forest.roots() == [0, 50]
+
+    def test_infeasible_none(self):
+        # a single arrival is always feasible
+        forest = optimal_forest_general([5.0], 3)
+        assert forest.roots() == [5.0]
+
+    def test_prefers_merging_when_cheap(self):
+        # two close arrivals: merging (L + gap) beats two roots (2L)
+        ts = [0.0, 1.0]
+        forest = optimal_forest_general(ts, 50)
+        assert forest.roots() == [0.0]
+        assert forest.full_cost(50) == 51.0
+
+    def test_prefers_roots_when_merge_expensive(self):
+        # with L = 2 and gap 1: merging costs 2+1=3, two roots cost 4 — merge
+        assert optimal_full_cost_general([0, 1], 2) == 3
+        # chain of arrivals at L=2 must alternate roots (max 2 per tree)
+        forest = optimal_forest_general([0, 1, 2, 3], 2)
+        assert len(forest.roots()) == 2
+
+    def test_beats_or_ties_every_heuristic(self):
+        from repro.baselines.dyadic import dyadic_forest
+
+        ts = [0.0, 0.7, 1.1, 4.0, 9.5, 10.0, 22.0]
+        L = 30
+        opt = optimal_full_cost_general(ts, L)
+        dyadic = dyadic_forest(ts, L).full_cost(L)
+        assert opt <= dyadic + 1e-9
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            optimal_forest_general([], 10)
+        with pytest.raises(ValueError):
+            optimal_forest_general([0, 0], 10)
+        with pytest.raises(ValueError):
+            optimal_forest_general([0.0], 0)
+        with pytest.raises(ValueError):
+            optimal_merge_tree_general([])

@@ -1,0 +1,227 @@
+"""Unit and property tests for repro.core.merge_tree."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+
+from repro.core.merge_tree import (
+    MergeForest,
+    MergeNode,
+    MergeTree,
+    chain_tree,
+    star_tree,
+    tree_from_parent_map,
+)
+
+from tests.conftest import preorder_tree
+
+
+class TestMergeNode:
+    def test_add_child_ordering(self):
+        root = MergeNode(0)
+        root.add_child(MergeNode(2))
+        with pytest.raises(ValueError):
+            root.add_child(MergeNode(1))  # out of sibling order
+        with pytest.raises(ValueError):
+            root.add_child(MergeNode(0))  # not after parent
+
+    def test_preorder_and_last_descendant(self):
+        t = chain_tree([0, 1, 2, 3])
+        assert [n.arrival for n in t.root.preorder()] == [0, 1, 2, 3]
+        assert t.root.last_descendant().arrival == 3
+
+    def test_depth_and_path(self):
+        t = chain_tree([0, 2, 5])
+        node = t.node(5)
+        assert node.depth() == 2
+        assert [n.arrival for n in node.path_from_root()] == [0, 2, 5]
+
+
+class TestMergeTreeBasics:
+    def test_duplicate_labels_rejected(self):
+        root = MergeNode(0)
+        a = MergeNode(1)
+        root.children.append(a)
+        a.parent = root
+        b = MergeNode(1)
+        root.children.append(b)
+        b.parent = root
+        with pytest.raises(ValueError):
+            MergeTree(root)
+
+    def test_single(self):
+        t = MergeTree.single(3)
+        assert len(t) == 1
+        assert t.span() == 0
+        assert t.has_preorder_property()
+
+    def test_contains_and_node(self):
+        t = star_tree([0, 1, 2])
+        assert 2 in t and 5 not in t
+        assert t.node(1).parent.arrival == 0
+        with pytest.raises(KeyError):
+            t.node(9)
+
+    def test_preorder_property_detection(self):
+        # star and chain always have it
+        assert star_tree([0, 1, 2, 3]).has_preorder_property()
+        assert chain_tree([0, 1, 2, 3]).has_preorder_property()
+        # a valid merge tree *without* it: 0 -> {1 -> 3, 2};
+        # preorder walk 0, 1, 3, 2 is not sorted.
+        root = MergeNode(0)
+        c1 = MergeNode(1)
+        c1.parent = root
+        root.children.append(c1)
+        c2 = MergeNode(2)
+        c2.parent = root
+        root.children.append(c2)
+        grand = MergeNode(3)
+        grand.parent = c1
+        c1.children.append(grand)
+        t = MergeTree(root)
+        assert not t.has_preorder_property()
+
+
+class TestLengths:
+    def test_paper_lengths_n8(self, paper_tree8):
+        # Fig. 3: l(F=5) = 9, l(H=7) = 2, l(B=1) = 1
+        assert paper_tree8.length(5) == 9
+        assert paper_tree8.length(7) == 2
+        assert paper_tree8.length(1) == 1
+        with pytest.raises(ValueError):
+            paper_tree8.length(0)  # root has no l(x)
+
+    def test_leaf_length_closes_gap(self):
+        t = star_tree([0, 3, 7])
+        assert t.length(3) == 3
+        assert t.length(7) == 7
+
+    def test_receive_all_lengths(self, paper_tree8):
+        # omega(x) = z(x) - p(x)
+        assert paper_tree8.length_receive_all(5) == 7 - 0
+        assert paper_tree8.length_receive_all(7) == 7 - 5
+        with pytest.raises(ValueError):
+            paper_tree8.length_receive_all(0)
+
+    def test_merge_cost_paper(self, paper_tree8):
+        assert paper_tree8.merge_cost() == 21
+
+    def test_alternative_length_expressions(self, paper_tree8):
+        # Eq. (2)/(3): l(x) = (x - p) + 2(z - x) = (z - x) + (z - p)
+        for node in paper_tree8.root.preorder():
+            if node.parent is None:
+                continue
+            x, p = node.arrival, node.parent.arrival
+            z = node.last_descendant().arrival
+            length = paper_tree8.length(x)
+            assert length == (x - p) + 2 * (z - x)
+            assert length == (z - x) + (z - p)
+
+
+class TestLemma2Split:
+    def test_split_paper_tree(self, paper_tree8):
+        t_prime, t_double = paper_tree8.split_last_root_child()
+        assert t_prime.arrivals() == [0, 1, 2, 3, 4]
+        assert t_double.arrivals() == [5, 6, 7]
+        assert t_prime.merge_cost() == 9
+        assert t_double.merge_cost() == 3
+        # Lemma 2: Mcost(T) = Mcost(T') + Mcost(T'') + (2z - x - r)
+        x, z, r = 5, 7, 0
+        assert paper_tree8.merge_cost() == 9 + 3 + (2 * z - x - r)
+
+    def test_split_bare_root_fails(self):
+        with pytest.raises(ValueError):
+            MergeTree.single(0).split_last_root_child()
+
+    def test_attach_inverse_of_split(self, paper_tree8):
+        t_prime, t_double = paper_tree8.split_last_root_child()
+        rebuilt = t_prime.attach(t_double)
+        assert rebuilt.canonical() == paper_tree8.canonical()
+
+    @given(preorder_tree(max_n=20))
+    def test_lemma2_decomposition_random(self, tree):
+        if len(tree) < 2:
+            return
+        t_prime, t_double = tree.split_last_root_child()
+        x = t_double.root.arrival
+        z = tree.last_arrival()
+        r = tree.root.arrival
+        assert tree.merge_cost() == (
+            t_prime.merge_cost() + t_double.merge_cost() + (2 * z - x - r)
+        )
+
+    @given(preorder_tree(max_n=20))
+    def test_split_attach_roundtrip_random(self, tree):
+        if len(tree) < 2:
+            return
+        t_prime, t_double = tree.split_last_root_child()
+        assert t_prime.attach(t_double).canonical() == tree.canonical()
+
+
+class TestParentMapAndFactories:
+    def test_round_trip(self, paper_tree8):
+        rebuilt = tree_from_parent_map(paper_tree8.parent_map())
+        assert rebuilt.canonical() == paper_tree8.canonical()
+
+    def test_bad_parent_maps(self):
+        with pytest.raises(ValueError):
+            tree_from_parent_map({0: None, 1: None})  # two roots
+        with pytest.raises(ValueError):
+            tree_from_parent_map({1: 0})  # missing root/parent
+
+    def test_chain_star_costs(self):
+        # chain over 0..3: l(i) = 2*3 - i - (i-1)
+        chain = chain_tree([0, 1, 2, 3])
+        assert chain.merge_cost() == sum(2 * 3 - i - (i - 1) for i in [1, 2, 3])
+        star = star_tree([0, 1, 2, 3])
+        assert star.merge_cost() == 1 + 2 + 3
+
+    def test_render_contains_all_labels(self, paper_tree8):
+        text = paper_tree8.render()
+        for a in paper_tree8.arrivals():
+            assert str(a) in text
+
+
+class TestMergeForest:
+    def test_overlap_rejected(self):
+        t1 = star_tree([0, 1, 2])
+        t2 = star_tree([2, 3])
+        with pytest.raises(ValueError):
+            MergeForest([t1, t2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MergeForest([])
+
+    def test_full_cost_paper(self, paper_tree8):
+        forest = MergeForest([paper_tree8])
+        assert forest.full_cost(15) == 36
+        assert forest.merge_cost() == 21
+        assert forest.roots() == [0]
+        assert forest.num_arrivals() == 8
+
+    def test_validate_for_length(self):
+        forest = MergeForest([star_tree([0, 1, 10])])
+        with pytest.raises(ValueError):
+            forest.full_cost(10)  # span 10 > L-1 = 9
+        assert forest.full_cost(11) == 11 + 1 + 10
+
+    def test_find(self, paper_tree8):
+        forest = MergeForest([paper_tree8])
+        tree, node = forest.find(6)
+        assert node.arrival == 6 and tree is paper_tree8
+        with pytest.raises(KeyError):
+            forest.find(99)
+
+    def test_stream_lengths(self, paper_tree8):
+        lengths = MergeForest([paper_tree8]).stream_lengths(15)
+        assert lengths[0] == 15  # root carries L
+        assert lengths[5] == 9
+        assert sum(v for k, v in lengths.items() if k != 0) == 21
+
+    def test_multi_tree_costs(self):
+        f = MergeForest([star_tree([0, 1]), star_tree([5, 6])])
+        assert f.merge_cost() == 2
+        assert f.full_cost(4) == 2 * 4 + 2
+        assert f.arrivals() == [0, 1, 5, 6]

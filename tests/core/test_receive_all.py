@@ -1,0 +1,112 @@
+"""Tests for the receive-all model (Section 3.4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import dp, receive_all as ra
+from repro.core.bounds import RECEIVE_ALL_GAIN
+from repro.core.offline import merge_cost
+
+PAPER_MW = [0, 1, 3, 5, 8, 11, 14, 17, 21, 25, 29, 33, 37, 41, 45, 49]
+DP_TABLE = dp.receive_all_cost_table(500)
+
+
+class TestClosedForm:
+    def test_paper_table(self):
+        assert [ra.merge_cost_receive_all(n) for n in range(1, 17)] == PAPER_MW
+
+    def test_against_dp(self):
+        for n in range(1, 501):
+            assert ra.merge_cost_receive_all(n) == DP_TABLE[n], n
+
+    def test_power_of_two_redundancy(self):
+        # Eq. (20) is consistent at n = 2^k between brackets k-1 and k.
+        for k in range(1, 20):
+            n = 1 << k
+            assert (k + 1) * n - (1 << (k + 1)) + 1 == k * n - (1 << k) + 1
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            ra.merge_cost_receive_all(0)
+
+    @given(st.lists(st.integers(min_value=1, max_value=500), min_size=1, max_size=50))
+    def test_vectorised(self, ns):
+        got = ra.merge_cost_receive_all_array(ns)
+        assert got.dtype == np.int64
+        assert list(got) == [ra.merge_cost_receive_all(n) for n in ns]
+
+    def test_vectorised_empty(self):
+        assert ra.merge_cost_receive_all_array([]).size == 0
+
+
+class TestBalancedSplits:
+    def test_values(self):
+        assert ra.balanced_splits(2) == (1,)
+        assert ra.balanced_splits(5) == (2, 3)
+        assert ra.balanced_splits(8) == (4,)
+
+    @given(st.integers(min_value=2, max_value=400))
+    def test_balanced_split_achieves_optimum(self, n):
+        for h in ra.balanced_splits(n):
+            assert DP_TABLE[h] + DP_TABLE[n - h] + n - 1 == DP_TABLE[n]
+
+    def test_requires_n_geq_2(self):
+        with pytest.raises(ValueError):
+            ra.balanced_splits(1)
+
+
+class TestTreeBuilder:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 7, 8, 9, 16, 31, 32, 33, 100, 256, 500])
+    def test_cost_optimal(self, n):
+        tree = ra.build_optimal_tree_receive_all(n)
+        assert len(tree) == n
+        assert tree.merge_cost_receive_all() == ra.merge_cost_receive_all(n)
+        assert tree.has_preorder_property()
+
+    def test_binary_structure(self):
+        # the root of a balanced tree has O(log n) children
+        tree = ra.build_optimal_tree_receive_all(64)
+        assert len(tree.root.children) <= 7
+
+    def test_receive_two_cost_of_receive_all_tree_is_worse(self):
+        # using the balanced tree under receive-two costs >= M(n)
+        for n in (5, 13, 21, 50):
+            t = ra.build_optimal_tree_receive_all(n)
+            assert t.merge_cost() >= merge_cost(n)
+
+
+class TestFullCost:
+    def test_formula_matches_forest(self):
+        for L, n, s in [(10, 25, 3), (15, 8, 1), (6, 17, 4)]:
+            forest = ra.build_optimal_forest_receive_all(L, n, s=s)
+            assert forest.full_cost_receive_all(L) == ra.full_cost_receive_all_given_streams(L, n, s)
+
+    def test_optimal_forest(self):
+        for L, n in [(15, 8), (10, 60), (25, 100)]:
+            forest = ra.build_optimal_forest_receive_all(L, n)
+            assert forest.full_cost_receive_all(L) == ra.optimal_full_cost_receive_all(L, n)
+
+    def test_receive_all_cheaper_than_receive_two(self):
+        from repro.core.full_cost import optimal_full_cost
+
+        for L, n in [(10, 50), (15, 100), (30, 200)]:
+            assert ra.optimal_full_cost_receive_all(L, n) <= optimal_full_cost(L, n)
+
+    def test_infeasible_s(self):
+        with pytest.raises(ValueError):
+            ra.full_cost_receive_all_given_streams(5, 20, 3)
+
+
+class TestTheorem19:
+    def test_ratio_below_limit_and_growing(self):
+        ratios = [
+            merge_cost(n) / ra.merge_cost_receive_all(n)
+            for n in (100, 1000, 10_000, 100_000)
+        ]
+        assert all(a < b for a, b in zip(ratios, ratios[1:]))
+        assert all(r < RECEIVE_ALL_GAIN for r in ratios)
+        assert ratios[-1] > 1.39  # close to log_phi 2 = 1.4404 by n = 1e5

@@ -1,0 +1,201 @@
+"""Tests for client receiving programs (Section 2 semantics)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.buffers import buffer_requirement
+from repro.core.full_cost import build_optimal_forest
+from repro.core.merge_tree import MergeForest, chain_tree
+from repro.core.offline import build_optimal_tree
+from repro.core.online import build_online_forest
+from repro.core.receive_all import build_optimal_forest_receive_all
+from repro.core.receiving_program import (
+    forest_programs,
+    receive_all_program,
+    receive_two_program,
+    required_stream_lengths,
+)
+
+from tests.conftest import preorder_tree
+
+
+class TestPaperClientH:
+    """The worked example: client H = arrival 7, path 0 -> 5 -> 7, L = 15."""
+
+    @pytest.fixture
+    def prog(self, paper_tree8):
+        return receive_two_program(paper_tree8, 7, 15)
+
+    def test_path(self, prog):
+        assert prog.path == (0, 5, 7)
+
+    def test_stage0(self, prog):
+        # time 7..9: parts 1,2 from stream 7; parts 3,4 from stream 5
+        by_part = prog.reception_by_part()
+        assert (by_part[1].stream, by_part[1].slot_end) == (7, 8)
+        assert (by_part[2].stream, by_part[2].slot_end) == (7, 9)
+        assert (by_part[3].stream, by_part[3].slot_end) == (5, 8)
+        assert (by_part[4].stream, by_part[4].slot_end) == (5, 9)
+
+    def test_stage1(self, prog):
+        by_part = prog.reception_by_part()
+        for part in range(5, 10):
+            assert by_part[part].stream == 5
+            assert by_part[part].slot_end == 5 + part
+        for part in range(10, 15):
+            assert by_part[part].stream == 0
+            assert by_part[part].slot_end == part
+
+    def test_stage_k(self, prog):
+        assert prog.reception_by_part()[15].stream == 0
+
+    def test_verdict(self, prog):
+        assert prog.is_complete()
+        assert prog.is_on_time()
+        assert prog.max_parallel_streams() == 2
+        assert prog.max_buffer() == 7
+        assert prog.streams_used() == [0, 5, 7]
+        assert prog.last_part_from(7) == 2
+        assert prog.last_part_from(5) == 9
+        assert prog.last_part_from(0) == 15
+
+
+class TestRootClient:
+    def test_root_receives_everything_from_itself(self):
+        t = build_optimal_tree(5)
+        prog = receive_two_program(t, 0, 10)
+        assert prog.is_complete() and prog.is_on_time()
+        assert prog.streams_used() == [0]
+        assert prog.max_parallel_streams() == 1
+        assert prog.max_buffer() == 0
+
+
+class TestForestPrograms:
+    @pytest.mark.parametrize(
+        "forest_builder,L,n",
+        [
+            (build_optimal_forest, 15, 8),
+            (build_optimal_forest, 10, 57),
+            (build_online_forest, 15, 19),
+            (build_online_forest, 25, 100),
+        ],
+    )
+    def test_all_clients_complete_on_time(self, forest_builder, L, n):
+        forest = forest_builder(L, n)
+        programs = forest_programs(forest, L)
+        assert len(programs) == n
+        for arrival, prog in programs.items():
+            assert prog.is_complete(), arrival
+            assert prog.is_on_time(), arrival
+            assert prog.max_parallel_streams() <= 2, arrival
+
+    def test_demand_matches_lemma1_exactly(self):
+        forest = build_optimal_forest(12, 40)
+        programs = forest_programs(forest, 12)
+        need = required_stream_lengths(list(programs.values()))
+        lengths = forest.stream_lengths(12)
+        for tree in forest:
+            for node in tree.root.preorder():
+                if node.parent is None:
+                    continue
+                assert need[node.arrival] == lengths[node.arrival]
+
+    def test_buffer_matches_lemma15(self):
+        L, n = 16, 30
+        forest = build_optimal_forest(L, n)
+        for arrival, prog in forest_programs(forest, L).items():
+            tree, _ = forest.find(arrival)
+            assert prog.max_buffer() == buffer_requirement(
+                arrival, tree.root.arrival, L
+            )
+
+    def test_unknown_model(self):
+        forest = build_optimal_forest(15, 8)
+        with pytest.raises(ValueError):
+            forest_programs(forest, 15, model="telepathy")
+
+
+class TestReceiveAllPrograms:
+    def test_fan_in_equals_path_length(self):
+        forest = build_optimal_forest_receive_all(20, 16)
+        programs = forest_programs(forest, 20, model="receive-all")
+        for arrival, prog in programs.items():
+            assert prog.is_complete(), arrival
+            assert prog.is_on_time(), arrival
+            tree, node = forest.find(arrival)
+            depth = len(node.path_from_root())
+            # all path streams are tapped simultaneously at the start
+            assert prog.max_parallel_streams() == min(
+                depth, prog.max_parallel_streams()
+            )
+            assert prog.max_parallel_streams() <= depth
+
+    def test_demand_matches_lemma17(self):
+        L = 20
+        forest = build_optimal_forest_receive_all(L, 16)
+        programs = forest_programs(forest, L, model="receive-all")
+        need = required_stream_lengths(list(programs.values()))
+        for tree in forest:
+            for node in tree.root.preorder():
+                if node.parent is None:
+                    continue
+                want = node.last_descendant().arrival - node.parent.arrival
+                assert need[node.arrival] == want
+
+
+class TestDeepChains:
+    def test_long_chain_still_valid(self):
+        # A chain forces the longest two-stream phases; L large enough.
+        n = 12
+        tree = chain_tree(list(range(n)))
+        L = 4 * n
+        for x in range(n):
+            prog = receive_two_program(tree, x, L)
+            assert prog.is_complete() and prog.is_on_time()
+            assert prog.max_parallel_streams() <= 2
+
+    def test_span_beyond_half_L_clipping(self):
+        # span > L/2 exercises the part-clipping path (stage ranges beyond L).
+        tree = chain_tree([0, 4, 8])
+        L = 9  # span 8 = L - 1
+        for x in (0, 4, 8):
+            prog = receive_two_program(tree, x, L)
+            assert prog.is_complete(), x
+            assert prog.is_on_time(), x
+
+
+class TestPropertyRandomTrees:
+    @settings(max_examples=60, deadline=None)
+    @given(preorder_tree(max_n=16))
+    def test_any_preorder_tree_is_playable(self, tree):
+        """Receiving programs work for EVERY preorder-property tree, not
+        just optimal ones, provided L covers the span."""
+        span = int(tree.span())
+        L = 2 * span + 2 + len(tree)
+        for x in tree.arrivals():
+            prog = receive_two_program(tree, x, L)
+            assert prog.is_complete()
+            assert prog.is_on_time()
+            assert prog.max_parallel_streams() <= 2
+            root = tree.root.arrival
+            assert prog.max_buffer() == buffer_requirement(x, root, L)
+
+    @settings(max_examples=60, deadline=None)
+    @given(preorder_tree(max_n=16))
+    def test_receive_all_any_tree(self, tree):
+        span = int(tree.span())
+        L = span + 1 + len(tree)
+        for x in tree.arrivals():
+            prog = receive_all_program(tree, x, L)
+            assert prog.is_complete()
+            assert prog.is_on_time()
+
+
+class TestIntegerGuard:
+    def test_non_integer_arrivals_rejected(self):
+        t = chain_tree([0.0, 1.5])
+        with pytest.raises(ValueError):
+            receive_two_program(t, 1.5, 10)

@@ -1,0 +1,88 @@
+"""Tests for the ASCII chart renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.charts import AsciiChart, Series, render_chart
+
+
+class TestBasics:
+    def test_single_series_renders(self):
+        out = render_chart([1, 2, 3], [("line", [1.0, 2.0, 3.0])])
+        assert "o line" in out
+        assert "1" in out and "3" in out
+
+    def test_multiple_series_distinct_markers(self):
+        out = render_chart(
+            [1, 2, 3],
+            [("a", [1, 1, 1]), ("b", [3, 3, 3])],
+        )
+        assert "o a" in out and "x b" in out
+        # flat series occupy one row each
+        lines = [l for l in out.splitlines() if "|" in l]
+        a_rows = [l for l in lines if "o" in l.split("|")[-1]]
+        b_rows = [l for l in lines if "x" in l.split("|")[-1]]
+        assert len(a_rows) == 1 and len(b_rows) == 1
+        assert lines.index(b_rows[0]) < lines.index(a_rows[0])  # larger y on top
+
+    def test_y_autoscale_labels(self):
+        out = render_chart([0, 1], [("s", [10.0, 20.0])])
+        assert "20" in out and "10" in out
+
+    def test_dimensions(self):
+        chart = AsciiChart(xs=(0.0, 1.0), width=30, height=7)
+        chart.add("s", [0.0, 1.0])
+        body = [l for l in chart.render().splitlines() if "|" in l]
+        assert len(body) == 7
+        assert all(len(l.split("|")[1]) == 30 for l in body)
+
+
+class TestValidation:
+    def test_length_mismatch(self):
+        chart = AsciiChart(xs=(0.0, 1.0, 2.0))
+        with pytest.raises(ValueError):
+            chart.add("bad", [1.0, 2.0])
+
+    def test_empty_chart(self):
+        with pytest.raises(ValueError):
+            AsciiChart(xs=(0.0, 1.0)).render()
+
+    def test_log_scale_guards(self):
+        with pytest.raises(ValueError):
+            render_chart([0, 1], [("s", [1, 2])], logx=True)
+        with pytest.raises(ValueError):
+            render_chart([1, 2], [("s", [0, 2])], logy=True)
+
+
+class TestLogScales:
+    def test_logx_spreads_decades(self):
+        # a peak at x=100 over [10, 1000]: centre column under logx,
+        # far-left (~9%) under linear x
+        def peak_col(logx):
+            out = render_chart(
+                [10, 100, 1000], [("s", [1.0, 5.0, 1.0])], logx=logx
+            )
+            lines = [l for l in out.splitlines() if "|" in l]
+            top = next(l.split("|")[1] for l in lines if "o" in l)
+            return top.index("o"), len(top)
+
+        log_col, width = peak_col(True)
+        lin_col, _ = peak_col(False)
+        assert abs(log_col - width // 2) <= 2
+        assert lin_col < width // 4
+
+    def test_logy_labels_delogged(self):
+        out = render_chart([0, 1], [("s", [10.0, 1000.0])], logy=True)
+        assert "1000" in out and "10" in out
+
+    def test_constant_series_ok(self):
+        # degenerate y-range must not divide by zero
+        out = render_chart([0, 1, 2], [("s", [5.0, 5.0, 5.0])])
+        assert "o s" in out
+
+
+class TestSeries:
+    def test_factory(self):
+        s = Series.of("n", [1, 2])
+        assert s.ys == (1.0, 2.0)

@@ -1,0 +1,59 @@
+"""Shape tests for the Section 5 extension experiments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.extensions import (
+    run_general_offline,
+    run_hybrid,
+    run_multiplex,
+)
+
+
+class TestMultiplexExperiment:
+    def test_shapes(self):
+        (res,) = run_multiplex(
+            titles=8,
+            horizon_minutes=360.0,
+            mean_interarrival_minutes=1.0,
+            delays=(5.0, 10.0, 20.0),
+            seed=1,
+        )
+        dg_peaks = res.column("DG peak ch.")
+        dg_hours = res.column("DG stream-hours")
+        # DG envelope shrinks as the delay guarantee is relaxed
+        assert all(a >= b for a, b in zip(dg_peaks, dg_peaks[1:]))
+        assert all(a >= b for a, b in zip(dg_hours, dg_hours[1:]))
+        # dyadic is delay-independent (it serves immediately)
+        dyadic_hours = res.column("dyadic stream-hours")
+        assert len(set(dyadic_hours)) == 1
+        assert any("min_delay_for_budget" in n for n in res.notes)
+
+
+class TestHybridExperiment:
+    def test_hybrid_beats_pure_dg(self):
+        (res,) = run_hybrid(L=50, phase_slots=250.0, phases=4, seed=2)
+        by_policy = {row[0]: row for row in res.rows}
+        hybrid_cost = by_policy["hybrid"][1]
+        dg_cost = by_policy["pure DG"][1]
+        assert hybrid_cost < dg_cost
+        assert by_policy["hybrid"][3] > 0  # it actually switched modes
+
+    def test_hybrid_peak_not_worse_than_dyadic(self):
+        (res,) = run_hybrid(L=50, phase_slots=250.0, phases=4, seed=2)
+        by_policy = {row[0]: row for row in res.rows}
+        assert by_policy["hybrid"][2] <= by_policy["immediate dyadic"][2]
+
+
+class TestGeneralOfflineExperiment:
+    def test_heuristics_bounded_by_optimum(self):
+        (res,) = run_general_offline(L=40, lams=(2.0, 6.0), horizon=250.0)
+        for row in res.rows:
+            assert row[4] >= 1.0  # dyadic/opt
+            assert row[6] >= 1.0  # DG/opt
+
+    def test_dg_overhead_grows_with_sparsity(self):
+        (res,) = run_general_offline(L=40, lams=(2.0, 8.0), horizon=250.0)
+        dg_ratios = res.column("DG/opt")
+        assert dg_ratios[-1] > dg_ratios[0]

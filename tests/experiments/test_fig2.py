@@ -1,0 +1,31 @@
+"""Shape tests for the Fig. 2 mechanism replay experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig2_mechanism import run_fig2
+
+
+class TestFig2:
+    def test_client_h_slots(self):
+        (res,) = run_fig2(n=8, L=15, client=7)
+        assert len(res.rows) == 8  # client H is busy for 8 slots
+        # double reception during the merge phases, single at the tail
+        assert res.rows[0][1] == "5, 7"
+        assert res.rows[-1][1] == "0"
+        # buffer ramps to the Lemma 15 peak then holds
+        levels = [row[4] for row in res.rows]
+        assert max(levels) == 7
+        assert levels == sorted(levels[: levels.index(7) + 1]) + levels[
+            levels.index(7) + 1 :
+        ]
+
+    def test_root_client_trivial(self):
+        (res,) = run_fig2(n=8, L=15, client=0)
+        assert all(row[1] == "0" for row in res.rows)
+        assert all(row[4] == 0 for row in res.rows)
+
+    def test_unknown_client(self):
+        with pytest.raises(ValueError):
+            run_fig2(n=8, L=15, client=12)

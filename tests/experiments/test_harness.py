@@ -1,0 +1,53 @@
+"""Tests for the experiment harness and registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import all_experiments, format_table, get_experiment
+from repro.experiments.harness import ExperimentResult
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        exps = all_experiments()
+        required = {
+            "fig1", "fig3", "fig6-7", "fig8", "fig9", "fig11", "fig12",
+            "table-mn", "table-mw", "table-full",
+            "thm8", "thm14", "thm19",
+            "complexity", "buffer", "ablation-dyadic", "ablation-online-tree",
+        }
+        assert required <= set(exps)
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_experiment("fig99")
+
+    def test_metadata_present(self):
+        for exp in all_experiments().values():
+            assert exp.title
+            assert exp.paper_ref
+
+
+class TestFormatting:
+    def test_format_table_alignment(self):
+        text = format_table(("a", "bb"), [(1, 22), (333, 4)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(l) == len(lines[0]) for l in lines[:2])
+
+    def test_result_render_and_column(self):
+        res = ExperimentResult(
+            title="T", headers=("x", "y"), rows=[(1, 2), (3, 4)], notes=["n1"]
+        )
+        out = res.render()
+        assert "T" in out and "note: n1" in out
+        assert res.column("y") == [2, 4]
+        with pytest.raises(ValueError):
+            res.column("zz")
+
+    def test_duplicate_registration_rejected(self):
+        from repro.experiments.harness import register
+
+        with pytest.raises(ValueError):
+            register("fig1", "dup", "x")(lambda: [])

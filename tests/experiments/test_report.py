@@ -1,0 +1,65 @@
+"""Tests for result persistence and the --save CLI path."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments import get_experiment
+from repro.experiments.harness import ExperimentResult
+from repro.experiments.report import results_to_json, save_results
+
+
+class TestResultsToJson:
+    def test_roundtrippable(self):
+        res = ExperimentResult(
+            title="T", headers=("a", "b"), rows=[(1, 2.5), (3, "x")], notes=["n"]
+        )
+        doc = json.loads(results_to_json("demo", [res]))
+        assert doc["experiment"] == "demo"
+        assert doc["tables"][0]["headers"] == ["a", "b"]
+        assert doc["tables"][0]["rows"] == [[1, 2.5], [3, "x"]]
+        assert doc["tables"][0]["notes"] == ["n"]
+
+    def test_chart_notes_excluded_from_json(self):
+        res = ExperimentResult(
+            title="T", headers=("a",), rows=[(1,)], notes=["keep", "\nchart art"]
+        )
+        doc = json.loads(results_to_json("demo", [res]))
+        assert doc["tables"][0]["notes"] == ["keep"]
+
+
+class TestSaveResults:
+    def test_writes_both_files(self, tmp_path):
+        exp = get_experiment("table-full")
+        results = exp()
+        paths = save_results(exp, results, tmp_path)
+        assert {p.name for p in paths} == {"table-full.txt", "table-full.json"}
+        text = (tmp_path / "table-full.txt").read_text()
+        assert "python -m repro table-full" in text
+        assert "F(15, 8)" in text
+        doc = json.loads((tmp_path / "table-full.json").read_text())
+        assert doc["experiment"] == "table-full"
+
+    def test_creates_directory(self, tmp_path):
+        exp = get_experiment("table-mn")
+        save_results(exp, exp(), tmp_path / "nested" / "dir")
+        assert (tmp_path / "nested" / "dir" / "table-mn.txt").exists()
+
+
+class TestCliSave:
+    def test_save_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["table-mn", "--save", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "saved:" in out
+        assert (tmp_path / "table-mn.json").exists()
+
+    def test_no_save_by_default(self, tmp_path, capsys, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.chdir(tmp_path)
+        assert main(["table-mn"]) == 0
+        assert not (tmp_path / "results").exists()

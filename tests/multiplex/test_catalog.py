@@ -1,0 +1,71 @@
+"""Tests for media catalogs and Zipf popularity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.multiplex import Catalog, MediaObject, zipf_weights
+
+
+class TestZipfWeights:
+    def test_normalised(self):
+        w = zipf_weights(10, 0.8)
+        assert w.sum() == pytest.approx(1.0)
+        assert (w > 0).all()
+
+    def test_decreasing(self):
+        w = zipf_weights(20, 1.0)
+        assert (np.diff(w) < 0).all()
+
+    def test_exponent_zero_uniform(self):
+        w = zipf_weights(5, 0.0)
+        assert np.allclose(w, 0.2)
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0)
+        with pytest.raises(ValueError):
+            zipf_weights(3, -1.0)
+
+
+class TestMediaObject:
+    def test_units(self):
+        movie = MediaObject("m", 120.0, 1.0)
+        assert movie.units(15.0) == 8
+        assert movie.units(7.0) == 17
+        assert MediaObject("short", 3.0, 1.0).units(10.0) == 1  # floor of 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MediaObject("x", 0.0, 1.0)
+        with pytest.raises(ValueError):
+            MediaObject("x", 10.0, 0.0)
+        with pytest.raises(ValueError):
+            MediaObject("x", 10.0, 1.0).units(0)
+
+
+class TestCatalog:
+    def test_zipf_factory(self):
+        cat = Catalog.zipf(8, duration_minutes=90.0, exponent=0.7)
+        assert len(cat) == 8
+        assert sum(o.weight for o in cat) == pytest.approx(1.0)
+        assert cat[0].weight > cat[-1].weight
+        assert all(o.duration_minutes == 90.0 for o in cat)
+
+    def test_weights_renormalised(self):
+        cat = Catalog([MediaObject("a", 60, 2.0), MediaObject("b", 60, 6.0)])
+        assert cat[0].weight == pytest.approx(0.25)
+        assert cat[1].weight == pytest.approx(0.75)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            Catalog([MediaObject("a", 60, 1.0), MediaObject("a", 90, 1.0)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Catalog([])
+
+    def test_popularity_rank(self):
+        cat = Catalog([MediaObject("cold", 60, 1.0), MediaObject("hot", 60, 9.0)])
+        assert [o.name for o in cat.popularity_rank()] == ["hot", "cold"]

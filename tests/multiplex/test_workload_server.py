@@ -1,0 +1,149 @@
+"""Tests for multi-object workloads and peak-bandwidth provisioning."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arrivals import ArrivalTrace, poisson
+from repro.multiplex import (
+    Catalog,
+    MediaObject,
+    aggregate_peak,
+    aggregate_profile,
+    catalog_workload,
+    dg_object_load,
+    dyadic_object_load,
+    min_delay_for_budget,
+    serve_catalog,
+    split_requests,
+)
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return Catalog.zipf(6, duration_minutes=120.0, exponent=0.8)
+
+
+class TestSplitRequests:
+    def test_conserves_requests(self, catalog):
+        trace = poisson(1.0, 300.0, seed=0)
+        per_object = split_requests(trace, catalog, seed=1)
+        assert sum(len(t) for t in per_object.values()) == len(trace)
+        assert set(per_object) == {o.name for o in catalog}
+
+    def test_popularity_ordering_statistical(self, catalog):
+        trace = poisson(0.05, 2000.0, seed=0)  # ~40k requests
+        per_object = split_requests(trace, catalog, seed=2)
+        counts = [len(per_object[o.name]) for o in catalog]
+        # top title clearly busier than bottom title
+        assert counts[0] > 2 * counts[-1]
+
+    def test_reproducible(self, catalog):
+        trace = poisson(1.0, 200.0, seed=0)
+        a = split_requests(trace, catalog, seed=3)
+        b = split_requests(trace, catalog, seed=3)
+        assert all(a[k].times == b[k].times for k in a)
+
+    def test_catalog_workload_end_to_end(self, catalog):
+        wl = catalog_workload(catalog, 2.0, 400.0, seed=4)
+        assert set(wl) == {o.name for o in catalog}
+        assert all(t.horizon == 400.0 for t in wl.values())
+
+
+class TestObjectLoads:
+    def test_dg_load_deterministic(self):
+        obj = MediaObject("m", 120.0, 1.0)
+        a = dg_object_load(obj, 15.0, 480.0)
+        b = dg_object_load(obj, 15.0, 480.0)
+        assert a.intervals == b.intervals
+        assert a.L == 8
+        assert a.total_units_minutes > 0
+        assert a.peak >= 1
+
+    def test_dg_load_peak_decreases_with_delay(self):
+        obj = MediaObject("m", 120.0, 1.0)
+        peaks = [dg_object_load(obj, d, 720.0).peak for d in (5.0, 15.0, 30.0)]
+        assert peaks[0] >= peaks[1] >= peaks[2]
+
+    def test_dyadic_load_empty_trace(self):
+        obj = MediaObject("m", 120.0, 1.0)
+        empty = ArrivalTrace(times=(), horizon=480.0)
+        load = dyadic_object_load(obj, 15.0, empty)
+        assert load.total_units_minutes == 0.0
+        assert load.peak == 0
+
+    def test_dyadic_load_scales_with_requests(self):
+        obj = MediaObject("m", 120.0, 1.0)
+        sparse = poisson(60.0, 960.0, seed=5)
+        dense = poisson(5.0, 960.0, seed=5)
+        lo = dyadic_object_load(obj, 15.0, sparse)
+        hi = dyadic_object_load(obj, 15.0, dense)
+        assert hi.total_units_minutes > lo.total_units_minutes
+
+
+class TestAggregation:
+    def test_aggregate_peak_sums_overlaps(self):
+        obj = MediaObject("m", 60.0, 1.0)
+        load = dg_object_load(obj, 15.0, 240.0)
+        assert aggregate_peak([load, load]) == 2 * load.peak
+
+    def test_profile_matches_peak(self):
+        obj = MediaObject("m", 120.0, 1.0)
+        load = dg_object_load(obj, 15.0, 480.0)
+        prof = aggregate_profile([load], 0.0, 720.0, resolution=1.0)
+        assert prof.max() == load.peak
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            aggregate_profile([], 10.0, 5.0, 1.0)
+
+
+class TestServeCatalog:
+    def test_dg_report(self, catalog):
+        report = serve_catalog(catalog, 15.0, 480.0, policy="dg")
+        assert len(report.loads) == len(catalog)
+        assert report.peak_channels >= len(catalog)  # one live stream each min.
+        assert report.total_units_minutes > 0
+
+    def test_dyadic_requires_workload(self, catalog):
+        with pytest.raises(ValueError):
+            serve_catalog(catalog, 15.0, 480.0, policy="dyadic")
+
+    def test_unknown_policy(self, catalog):
+        with pytest.raises(ValueError):
+            serve_catalog(catalog, 15.0, 480.0, policy="quantum")
+
+    def test_dyadic_report(self, catalog):
+        wl = catalog_workload(catalog, 2.0, 480.0, seed=6)
+        report = serve_catalog(catalog, 15.0, 480.0, policy="dyadic", workload=wl)
+        assert report.clients == sum(len(t) for t in wl.values())
+        assert report.peak_channels > 0
+
+    def test_busiest_objects(self, catalog):
+        report = serve_catalog(catalog, 15.0, 480.0, policy="dg")
+        top = report.busiest_objects(3)
+        assert len(top) == 3
+        assert top[0].total_units_minutes >= top[-1].total_units_minutes
+
+
+class TestDelayForBudget:
+    def test_monotone_knob(self, catalog):
+        peaks = [
+            serve_catalog(catalog, d, 480.0, policy="dg").peak_channels
+            for d in (5.0, 10.0, 20.0)
+        ]
+        assert peaks[0] >= peaks[1] >= peaks[2]
+
+    def test_finds_smallest_feasible(self, catalog):
+        candidates = (5.0, 10.0, 20.0, 40.0)
+        peak_at_10 = serve_catalog(catalog, 10.0, 480.0, policy="dg").peak_channels
+        chosen = min_delay_for_budget(catalog, 480.0, peak_at_10, candidates)
+        assert chosen is not None and chosen <= 10.0
+
+    def test_infeasible_budget(self, catalog):
+        assert min_delay_for_budget(catalog, 480.0, 1, (5.0, 10.0)) is None
+
+    def test_bad_budget(self, catalog):
+        with pytest.raises(ValueError):
+            min_delay_for_budget(catalog, 480.0, 0, (5.0,))

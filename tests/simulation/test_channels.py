@@ -1,0 +1,113 @@
+"""Tests for channel assignment (interval packing)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.full_cost import build_optimal_forest
+from repro.core.online import build_online_forest
+from repro.simulation.channels import (
+    StreamInterval,
+    assign_channels,
+    assign_forest_channels,
+    forest_intervals,
+)
+from repro.simulation.metrics import BandwidthMetrics
+
+
+def iv(label, start, end):
+    return StreamInterval(label=label, start=start, end=end)
+
+
+class TestStreamInterval:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            iv(0, 5, 5)
+        with pytest.raises(ValueError):
+            iv(0, 5, 4)
+
+    def test_units(self):
+        assert iv(0, 2, 7).units == 5
+
+
+class TestAssignChannels:
+    def test_empty(self):
+        assert assign_channels([]).num_channels == 0
+
+    def test_disjoint_reuse_one_channel(self):
+        a = assign_channels([iv(1, 0, 5), iv(2, 5, 9), iv(3, 9, 12)])
+        assert a.num_channels == 1
+        a.validate()
+
+    def test_full_overlap_needs_all(self):
+        a = assign_channels([iv(1, 0, 10), iv(2, 0, 10), iv(3, 0, 10)])
+        assert a.num_channels == 3
+
+    def test_known_peak(self):
+        a = assign_channels([iv(1, 0, 10), iv(2, 2, 5), iv(3, 3, 4), iv(4, 12, 15)])
+        assert a.num_channels == 3
+        a.validate()
+
+    def test_channel_of(self):
+        a = assign_channels([iv(1, 0, 5), iv(2, 5, 9)])
+        assert a.channel_of(1) == a.channel_of(2) == 0
+        with pytest.raises(KeyError):
+            a.channel_of(99)
+
+    def test_utilisation(self):
+        a = assign_channels([iv(1, 0, 5), iv(2, 5, 10)])
+        assert a.utilisation(10.0) == 1.0
+        assert a.utilisation(20.0) == 0.5
+        assert assign_channels([]).utilisation(10.0) == 0.0
+
+    def test_render(self):
+        a = assign_channels([iv(1, 0, 5)])
+        assert "channel 0" in a.render()
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=50),
+                st.integers(min_value=1, max_value=20),
+            ),
+            min_size=1,
+            max_size=25,
+        )
+    )
+    def test_channel_count_equals_peak_overlap(self, raw):
+        intervals = [iv(i, s, s + d) for i, (s, d) in enumerate(raw)]
+        a = assign_channels(intervals)
+        a.validate()
+        m = BandwidthMetrics(L=1)
+        for s in intervals:
+            m.record_stream(s.start, s.end, is_root=False)
+        assert a.num_channels == m.peak_concurrency()
+
+
+class TestForestChannels:
+    @pytest.mark.parametrize("L,n", [(15, 8), (15, 57), (10, 100)])
+    def test_valid_and_optimal(self, L, n):
+        forest = build_optimal_forest(L, n)
+        assignment = assign_forest_channels(forest, L)
+        assignment.validate()
+        m = BandwidthMetrics(L=L)
+        for s in forest_intervals(forest, L):
+            m.record_stream(s.start, s.end, is_root=False)
+        assert assignment.num_channels == m.peak_concurrency()
+
+    def test_online_forest_channels_bounded(self):
+        # DG envelope: channel need is modest relative to n
+        L, n = 100, 550  # 10 Fibonacci trees
+        forest = build_online_forest(L, n)
+        assignment = assign_forest_channels(forest, L)
+        assert assignment.num_channels < 20
+
+    def test_intervals_cover_all_streams(self):
+        forest = build_optimal_forest(15, 8)
+        ints = forest_intervals(forest, 15)
+        assert {s.label for s in ints} == set(range(8))
+        total = sum(s.units for s in ints)
+        assert total == forest.full_cost(15)

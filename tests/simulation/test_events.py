@@ -1,0 +1,114 @@
+"""Tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.simulation.events import EventQueue
+
+
+class TestScheduling:
+    def test_time_order(self):
+        q = EventQueue()
+        log = []
+        q.schedule(3.0, lambda: log.append("c"))
+        q.schedule(1.0, lambda: log.append("a"))
+        q.schedule(2.0, lambda: log.append("b"))
+        q.run()
+        assert log == ["a", "b", "c"]
+        assert q.now == 3.0
+
+    def test_priority_breaks_ties(self):
+        q = EventQueue()
+        log = []
+        q.schedule(1.0, lambda: log.append("low"), priority=5)
+        q.schedule(1.0, lambda: log.append("high"), priority=0)
+        q.run()
+        assert log == ["high", "low"]
+
+    def test_fifo_within_same_time_priority(self):
+        q = EventQueue()
+        log = []
+        for i in range(5):
+            q.schedule(1.0, lambda i=i: log.append(i))
+        q.run()
+        assert log == [0, 1, 2, 3, 4]
+
+    def test_past_scheduling_rejected(self):
+        q = EventQueue()
+        q.schedule(5.0, lambda: None)
+        q.run()
+        with pytest.raises(ValueError):
+            q.schedule(4.0, lambda: None)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().schedule(math.nan, lambda: None)
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        q = EventQueue()
+        log = []
+        ev = q.schedule(1.0, lambda: log.append("x"))
+        q.schedule(2.0, lambda: log.append("y"))
+        ev.cancel()
+        q.run()
+        assert log == ["y"]
+
+    def test_len_ignores_tombstones(self):
+        q = EventQueue()
+        ev = q.schedule(1.0, lambda: None)
+        q.schedule(2.0, lambda: None)
+        assert len(q) == 2
+        ev.cancel()
+        assert len(q) == 1
+
+    def test_peek_skips_cancelled(self):
+        q = EventQueue()
+        ev = q.schedule(1.0, lambda: None)
+        q.schedule(2.0, lambda: None)
+        ev.cancel()
+        assert q.peek_time() == 2.0
+
+
+class TestRun:
+    def test_run_until(self):
+        q = EventQueue()
+        log = []
+        q.schedule(1.0, lambda: log.append(1))
+        q.schedule(5.0, lambda: log.append(5))
+        q.run(until=2.0)
+        assert log == [1]
+        assert q.now == 2.0  # clock advanced to the horizon
+        q.run()
+        assert log == [1, 5]
+
+    def test_self_scheduling(self):
+        q = EventQueue()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 10:
+                q.schedule(q.now + 1.0, tick)
+
+        q.schedule(0.0, tick)
+        q.run()
+        assert count[0] == 10
+        assert q.processed == 10
+
+    def test_max_events_guard(self):
+        q = EventQueue()
+
+        def forever():
+            q.schedule(q.now, forever)
+
+        q.schedule(0.0, forever)
+        with pytest.raises(RuntimeError):
+            q.run(max_events=100)
+
+    def test_step_on_empty(self):
+        assert EventQueue().step() is False

@@ -1,0 +1,121 @@
+"""Tests for non-unit slot lengths and run-to-run determinism.
+
+The paper measures everything in slot units, but a real deployment has a
+slot = D minutes; policies must scale stream lengths and labels
+consistently.  Costs in *time* units must equal the slot-unit costs
+scaled by D.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arrivals import ArrivalTrace, poisson
+from repro.core.online import online_full_cost
+from repro.simulation import (
+    BatchedDyadicPolicy,
+    DelayGuaranteedPolicy,
+    OfflineOptimalPolicy,
+    PureBatchingPolicy,
+    Simulation,
+    verify_simulation,
+)
+from repro.core.full_cost import optimal_full_cost
+
+
+def scaled_every_slot(n: int, slot: float) -> ArrivalTrace:
+    return ArrivalTrace(
+        times=tuple(i * slot for i in range(n)), horizon=n * slot
+    )
+
+
+class TestScaledSlots:
+    @pytest.mark.parametrize("slot", [0.25, 0.5, 2.0, 15.0])
+    def test_dg_cost_scales_linearly(self, slot):
+        L, n = 15, 40
+        trace = scaled_every_slot(n, slot)
+        res = Simulation(L, trace, DelayGuaranteedPolicy(L), slot=slot).run()
+        assert res.metrics.total_units == pytest.approx(
+            online_full_cost(L, n) * slot
+        )
+        # the reconstructed forest (labels in time units) must carry the
+        # same structure regardless of the slot scale
+        assert res.forest().num_arrivals() == n
+
+    @pytest.mark.parametrize("slot", [0.5, 3.0])
+    def test_offline_cost_scales_linearly(self, slot):
+        L, n = 10, 30
+        trace = scaled_every_slot(n, slot)
+        res = Simulation(L, trace, OfflineOptimalPolicy(L, n), slot=slot).run()
+        assert res.metrics.total_units == pytest.approx(
+            optimal_full_cost(L, n) * slot
+        )
+
+    def test_batched_dyadic_scaled(self):
+        L, slot = 50, 2.0
+        trace = poisson(3.0, 100.0, seed=3)
+        res_scaled = Simulation(L, trace, BatchedDyadicPolicy(L), slot=slot).run()
+        # same arrivals compressed to unit slots must cost 1/slot as much
+        unit_times = tuple(t / slot for t in trace.times)
+        unit_trace = ArrivalTrace(times=unit_times, horizon=trace.horizon / slot)
+        res_unit = Simulation(L, unit_trace, BatchedDyadicPolicy(L), slot=1.0).run()
+        assert res_scaled.metrics.total_units == pytest.approx(
+            res_unit.metrics.total_units * slot
+        )
+
+    def test_startup_delay_bounded_by_scaled_slot(self):
+        L, slot = 20, 5.0
+        trace = poisson(4.0, 200.0, seed=6)
+        res = Simulation(L, trace, PureBatchingPolicy(L), slot=slot).run()
+        assert 0 < res.max_startup_delay() <= slot
+
+
+class TestDeterminism:
+    def test_identical_runs(self):
+        L = 30
+        trace = poisson(1.2, 120.0, seed=10)
+        a = Simulation(L, trace, DelayGuaranteedPolicy(L)).run()
+        b = Simulation(L, trace, DelayGuaranteedPolicy(L)).run()
+        assert a.metrics.total_units == b.metrics.total_units
+        assert sorted(a.streams) == sorted(b.streams)
+        assert [c.tree_label for c in a.clients] == [c.tree_label for c in b.clients]
+
+    def test_event_counts_deterministic(self):
+        L = 25
+        trace = poisson(0.8, 80.0, seed=11)
+        sims = []
+        for _ in range(2):
+            sim = Simulation(L, trace, BatchedDyadicPolicy(L))
+            sim.run()
+            sims.append(sim.queue.processed)
+        assert sims[0] == sims[1]
+
+
+class TestClientBookkeeping:
+    def test_assign_twice_rejected(self):
+        from repro.simulation.client import Client
+
+        c = Client(client_id=0, arrival=1.0, service_time=2.0)
+        c.assign(3.0, (1.0, 3.0))
+        with pytest.raises(RuntimeError):
+            c.assign(4.0, (4.0,))
+
+    def test_path_must_end_at_own_stream(self):
+        from repro.simulation.client import Client
+
+        c = Client(client_id=0, arrival=1.0, service_time=2.0)
+        with pytest.raises(ValueError):
+            c.assign(3.0, (1.0, 2.0))
+
+    def test_merge_hops(self):
+        from repro.simulation.client import Client
+
+        c = Client(client_id=0, arrival=1.0, service_time=2.0)
+        c.assign(3.0, (0.0, 1.0, 3.0))
+        assert c.merge_hops() == 2
+
+    def test_service_before_arrival_rejected(self):
+        from repro.simulation.client import Client
+
+        with pytest.raises(ValueError):
+            Client(client_id=0, arrival=2.0, service_time=1.0)

@@ -1,0 +1,138 @@
+"""Tests for Stream lifecycle and BandwidthMetrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation.metrics import BandwidthMetrics
+from repro.simulation.stream import Stream
+
+
+def make_stream(**kw):
+    defaults = dict(
+        stream_id=0,
+        label=0.0,
+        start=0.0,
+        planned_units=10.0,
+        is_root=True,
+        parent_label=None,
+    )
+    defaults.update(kw)
+    return Stream(**defaults)
+
+
+class TestStream:
+    def test_root_parent_consistency(self):
+        with pytest.raises(ValueError):
+            make_stream(is_root=True, parent_label=5.0)
+        with pytest.raises(ValueError):
+            make_stream(is_root=False, parent_label=None)
+
+    def test_activity_window(self):
+        s = make_stream()
+        assert s.active_at(0.0)
+        assert s.active_at(9.99)
+        assert not s.active_at(10.0)
+        assert not s.active_at(-1.0)
+
+    def test_position(self):
+        s = make_stream()
+        assert s.position_at(3.5) == 3.5
+        with pytest.raises(ValueError):
+            s.position_at(10.5)
+
+    def test_extension(self):
+        s = make_stream()
+        s.extend_to_units(15.0, now=5.0)
+        assert s.planned_units == 15.0
+        with pytest.raises(ValueError):
+            s.extend_to_units(12.0, now=5.0)  # shrink rejected
+
+    def test_no_resurrection(self):
+        s = make_stream()
+        with pytest.raises(RuntimeError):
+            s.extend_to_units(20.0, now=11.0)  # already dead
+
+    def test_extension_at_exact_end_allowed(self):
+        s = make_stream()
+        s.extend_to_units(12.0, now=10.0)
+        assert s.planned_end == 12.0
+
+    def test_finish(self):
+        s = make_stream()
+        assert s.finish(now=10.0) == 10.0
+        with pytest.raises(RuntimeError):
+            s.finish(now=10.0)  # double finish
+
+    def test_finish_early_rejected(self):
+        s = make_stream()
+        with pytest.raises(RuntimeError):
+            s.finish(now=9.0)
+
+    def test_extend_after_finish_rejected(self):
+        s = make_stream()
+        s.finish(now=10.0)
+        with pytest.raises(RuntimeError):
+            s.extend_to_units(20.0, now=10.0)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            make_stream(planned_units=-1.0)
+
+
+class TestBandwidthMetrics:
+    def test_totals(self):
+        m = BandwidthMetrics(L=10)
+        m.record_stream(0, 10, is_root=True)
+        m.record_stream(1, 4, is_root=False)
+        assert m.total_units == 13
+        assert m.streams_served == 1.3
+        assert m.streams_started == 2
+        assert m.roots_started == 1
+
+    def test_client_average(self):
+        m = BandwidthMetrics(L=10)
+        m.record_stream(0, 10, is_root=True)
+        m.record_client()
+        m.record_client()
+        assert m.average_bandwidth() == 5.0
+        assert BandwidthMetrics(L=10).average_bandwidth() == 0.0
+
+    def test_reversed_interval_rejected(self):
+        m = BandwidthMetrics(L=10)
+        with pytest.raises(ValueError):
+            m.record_stream(5, 4, is_root=True)
+
+    def test_peak_concurrency(self):
+        m = BandwidthMetrics(L=10)
+        m.record_stream(0, 10, True)
+        m.record_stream(2, 5, False)
+        m.record_stream(3, 4, False)
+        assert m.peak_concurrency() == 3
+
+    def test_peak_half_open_boundaries(self):
+        m = BandwidthMetrics(L=10)
+        m.record_stream(0, 5, True)
+        m.record_stream(5, 10, True)  # starts exactly when first ends
+        assert m.peak_concurrency() == 1
+
+    def test_concurrency_profile(self):
+        m = BandwidthMetrics(L=10)
+        m.record_stream(0, 3, True)
+        m.record_stream(1, 4, False)
+        prof = m.concurrency_profile(0, 5, resolution=1.0)
+        assert list(prof) == [1, 2, 2, 1, 0]
+
+    def test_profile_validation(self):
+        m = BandwidthMetrics(L=10)
+        with pytest.raises(ValueError):
+            m.concurrency_profile(5, 5)
+
+    def test_summary_keys(self):
+        m = BandwidthMetrics(L=10)
+        m.record_stream(0, 10, True)
+        m.record_client()
+        s = m.summary()
+        assert s["total_units"] == 10.0
+        assert s["peak_concurrency"] == 1.0
+        assert s["clients_served"] == 1.0

@@ -1,0 +1,179 @@
+"""Cross-module invariants: the properties that tie the whole system together.
+
+Each test here spans at least two subsystems (closed forms <-> trees <->
+receiving programs <-> simulator <-> channels) and asserts an identity the
+paper's correctness rests on.  Hypothesis drives the instance generation.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arrivals import every_slot, poisson
+from repro.baselines.dyadic import DyadicParams, dyadic_forest
+from repro.core import dp, offline
+from repro.core.analysis import bandwidth_timeline, merge_hop_histogram
+from repro.core.buffers import buffer_requirement
+from repro.core.full_cost import build_optimal_forest, optimal_full_cost
+from repro.core.general import optimal_full_cost_general
+from repro.core.merge_tree import MergeForest
+from repro.core.online import build_online_forest, online_full_cost
+from repro.core.receiving_program import forest_programs, required_stream_lengths
+from repro.simulation import (
+    DelayGuaranteedPolicy,
+    Simulation,
+    assign_forest_channels,
+    verify_forest,
+)
+
+from tests.conftest import preorder_tree
+
+small_L = st.integers(min_value=2, max_value=40)
+small_n = st.integers(min_value=1, max_value=80)
+
+
+class TestCostIdentities:
+    @settings(max_examples=60, deadline=None)
+    @given(small_L, small_n)
+    def test_forest_cost_equals_closed_form(self, L, n):
+        """Theorem 10/12 construction realises F(L, n) exactly."""
+        forest = build_optimal_forest(L, n)
+        assert forest.full_cost(L) == optimal_full_cost(L, n)
+
+    @settings(max_examples=60, deadline=None)
+    @given(small_L, small_n)
+    def test_online_at_least_offline(self, L, n):
+        assert online_full_cost(L, n) >= optimal_full_cost(L, n)
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_L, st.integers(min_value=1, max_value=40))
+    def test_general_solver_agrees_on_uniform(self, L, n):
+        assert optimal_full_cost_general(list(range(n)), L) == optimal_full_cost(L, n)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=2, max_value=200))
+    def test_merge_cost_superadditive_decomposition(self, n):
+        """For every split h, M(h) + M(n-h) + 2n-h-2 >= M(n) with equality
+        exactly on I(n) (ties the DP, the closed form and Theorem 3)."""
+        lo, hi = offline.root_merge_interval(n)
+        m = offline.merge_cost(n)
+        for h in range(1, n):
+            combined = offline.merge_cost(h) + offline.merge_cost(n - h) + 2 * n - h - 2
+            if lo <= h <= hi:
+                assert combined == m
+            else:
+                assert combined > m
+
+
+class TestDemandMeetsSupply:
+    @settings(max_examples=25, deadline=None)
+    @given(small_L, st.integers(min_value=1, max_value=40))
+    def test_lemma1_lengths_are_exact_demand(self, L, n):
+        """What clients actually pull from each stream == Lemma 1 length."""
+        forest = build_optimal_forest(L, n)
+        programs = forest_programs(forest, L)
+        need = required_stream_lengths(list(programs.values()))
+        lengths = forest.stream_lengths(L)
+        for tree in forest:
+            for node in tree.root.preorder():
+                if node.parent is not None:
+                    assert need[node.arrival] == lengths[node.arrival]
+
+    @settings(max_examples=25, deadline=None)
+    @given(preorder_tree(max_n=14))
+    def test_any_tree_buffer_law(self, tree):
+        """Lemma 15 holds for arbitrary preorder trees, not just optimal."""
+        L = 2 * int(tree.span()) + len(tree) + 2
+        forest = MergeForest([tree])
+        for arrival, prog in forest_programs(forest, L).items():
+            assert prog.max_buffer() == buffer_requirement(
+                arrival, tree.root.arrival, L
+            )
+
+    @settings(max_examples=20, deadline=None)
+    @given(small_L, st.integers(min_value=1, max_value=30))
+    def test_verify_forest_accepts_all_optimal(self, L, n):
+        verify_forest(build_optimal_forest(L, n), L).raise_if_failed()
+
+
+class TestChannelViewConsistency:
+    @settings(max_examples=25, deadline=None)
+    @given(small_L, st.integers(min_value=1, max_value=60))
+    def test_channels_equal_timeline_peak(self, L, n):
+        forest = build_optimal_forest(L, n)
+        peak_timeline = max(lvl for _, lvl in bandwidth_timeline(forest, L))
+        assert assign_forest_channels(forest, L).num_channels == peak_timeline
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_L, st.integers(min_value=1, max_value=60))
+    def test_histogram_conserves_clients(self, L, n):
+        forest = build_online_forest(L, n)
+        hist = merge_hop_histogram(forest)
+        assert sum(hist.values()) == n
+
+
+class TestSimulatorAgreesWithTheory:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=3, max_value=25), st.integers(min_value=1, max_value=60))
+    def test_dg_simulation_identity(self, L, n):
+        res = Simulation(L, every_slot(n), DelayGuaranteedPolicy(L)).run()
+        assert res.metrics.total_units == online_full_cost(L, n)
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_dyadic_forest_cost_scale_invariance(self, seed):
+        """Scaling time and L together scales the dyadic cost linearly."""
+        trace = poisson(1.3, 60.0, seed=seed)
+        if len(trace) == 0:
+            return
+        ts = [float(t) for t in trace]
+        params = DyadicParams()
+        base = dyadic_forest(ts, 30, params).full_cost(30)
+        scaled = dyadic_forest([3 * t for t in ts], 90, params).full_cost(90)
+        assert scaled == pytest.approx(3 * base)
+
+
+class TestFaultInjection:
+    """Corrupt a correct solution; the verifier must notice."""
+
+    def _forest_with_shortened_stream(self, L=15, n=8):
+        forest = build_optimal_forest(L, n)
+        # rebuild with one subtree cut off its parent: move node 5's
+        # subtree to merge into node 3 instead (later parent => the
+        # receiving program of its clients breaks timing / coverage)
+        from repro.core.merge_tree import tree_from_parent_map
+
+        pm = forest.trees[0].parent_map()
+        pm[5] = 4  # paper tree has p(5) = 0; 4 is deeper and later
+        return MergeForest([tree_from_parent_map(pm)])
+
+    def test_rewired_parent_detected(self):
+        corrupted = self._forest_with_shortened_stream()
+        report = verify_forest(corrupted, 15)
+        # the tree is still a valid merge tree, so verification passes on
+        # structure; but cost changed — it must exceed the optimum
+        assert corrupted.full_cost(15) > optimal_full_cost(15, 8)
+        report.raise_if_failed()  # validity is preserved, only optimality lost
+
+    def test_dropped_client_breaks_tightness(self):
+        """Removing a leaf client leaves its stream's demand short."""
+        forest = build_optimal_forest(15, 8)
+        programs = forest_programs(forest, 15)
+        del programs[7]  # client H vanishes
+        need = required_stream_lengths(list(programs.values()))
+        lengths = forest.stream_lengths(15)
+        # stream 7 now has zero demand; stream 5 is no longer fully used
+        assert need.get(7, 0) == 0
+        assert need[5] < lengths[5]
+
+    def test_undersized_L_detected(self):
+        forest = build_optimal_forest(15, 8)
+        report = verify_forest(forest, 7)  # span 7 == L-1+1 > 6
+        assert not report.ok
+
+    def test_buffer_cap_violation_detected(self):
+        forest = build_optimal_forest(30, 40)
+        report = verify_forest(forest, 30, buffer_bound=0.5)
+        assert not report.ok
