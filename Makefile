@@ -1,0 +1,18 @@
+# Developer entry points.  The repo is run in-place (no install step):
+# everything goes through PYTHONPATH=src, matching ROADMAP's tier-1 line.
+
+PY := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python
+
+.PHONY: test bench bench-smoke
+
+## tier-1 test suite (must stay green)
+test:
+	$(PY) -m pytest -x -q
+
+## full fastpath sweep: regenerates BENCH_fastpath.json at the repo root
+bench:
+	$(PY) benchmarks/bench_fastpath.py
+
+## quick pytest-benchmark pass over the fastpath smoke cases (CI job)
+bench-smoke:
+	$(PY) -m pytest benchmarks/bench_fastpath.py --benchmark-only -q

@@ -10,9 +10,40 @@ Run with:  pytest benchmarks/ --benchmark-only
 
 from __future__ import annotations
 
-from typing import List, Sequence
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence
 
 import pytest
+
+#: repo root — machine-readable benchmark trajectories live here as
+#: ``BENCH_<name>.json`` so successive PRs can compare timings.
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def write_bench_json(name: str, payload: Dict) -> Path:
+    """Write ``BENCH_<name>.json`` at the repo root and return its path.
+
+    ``payload`` should carry a ``schema`` key and a ``benchmarks`` list of
+    per-case dicts (name, n, reference_seconds, fast_seconds, speedup) so
+    downstream tooling can diff trajectories across PRs.
+    """
+    path = REPO_ROOT / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def timeit_best(fn, repeats: int = 3):
+    """``(best_seconds, last_result)`` over ``repeats`` runs of ``fn()``."""
+    import time
+
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
 
 
 def column(result, name: str) -> List:

@@ -7,6 +7,7 @@ Public surface re-exported here; see individual modules for the maths.
 from .fibonacci import PHI, fib, tree_size_index
 from .merge_tree import MergeForest, MergeNode, MergeTree, chain_tree, star_tree, tree_from_parent_map
 from .offline import (
+    build_optimal_parent_array,
     build_optimal_tree,
     enumerate_optimal_trees,
     fibonacci_tree,
@@ -15,6 +16,7 @@ from .offline import (
     root_merge_interval,
 )
 from .full_cost import (
+    build_optimal_flat_forest,
     build_optimal_forest,
     full_cost_breakdown,
     full_cost_given_streams,
@@ -34,6 +36,7 @@ from .buffers import (
 )
 from .online import (
     OnlineScheduler,
+    build_online_flat_forest,
     build_online_forest,
     online_full_cost,
     online_over_optimal_ratio,
@@ -77,12 +80,14 @@ __all__ = [
     "chain_tree",
     "star_tree",
     "tree_from_parent_map",
+    "build_optimal_parent_array",
     "build_optimal_tree",
     "enumerate_optimal_trees",
     "fibonacci_tree",
     "merge_cost",
     "merge_cost_array",
     "root_merge_interval",
+    "build_optimal_flat_forest",
     "build_optimal_forest",
     "full_cost_breakdown",
     "full_cost_given_streams",
@@ -96,6 +101,7 @@ __all__ = [
     "build_optimal_bounded_forest",
     "optimal_bounded_full_cost",
     "OnlineScheduler",
+    "build_online_flat_forest",
     "build_online_forest",
     "online_full_cost",
     "online_over_optimal_ratio",

@@ -34,6 +34,7 @@ __all__ = [
     "receive_all_argmin_sets",
     "build_optimal_tree_dp_receive_all",
     "general_arrivals_cost",
+    "general_arrivals_cost_reference",
 ]
 
 
@@ -196,6 +197,20 @@ def build_optimal_tree_dp_receive_all(n: int, start: int = 0) -> MergeTree:
 
 def general_arrivals_cost(arrivals: Sequence[float]) -> float:
     """Optimal merge cost for arbitrary sorted arrival times (from [6]).
+
+    Delegates to the Knuth-optimized O(n^2) implementation in
+    :func:`repro.fastpath.general.general_arrivals_cost`, which returns
+    bit-identical values to the O(n^3) reference DP kept below as
+    :func:`general_arrivals_cost_reference` (the correctness oracle the
+    fastpath equivalence tests compare against).
+    """
+    from ..fastpath.general import general_arrivals_cost as _fast
+
+    return _fast(arrivals)
+
+
+def general_arrivals_cost_reference(arrivals: Sequence[float]) -> float:
+    """The O(n^3) reference DP for the general-arrivals merge cost.
 
     Generalises Eq. (5) via Lemma 2: for arrivals ``t_i < ... < t_j`` with
     ``x = t_h`` the last direct merge to the root,

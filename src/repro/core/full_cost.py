@@ -31,6 +31,7 @@ __all__ = [
     "optimal_full_cost",
     "brute_force_stream_count",
     "build_optimal_forest",
+    "build_optimal_flat_forest",
     "FullCostBreakdown",
     "full_cost_breakdown",
 ]
@@ -142,6 +143,41 @@ def build_optimal_forest(L: int, n: int, s: int | None = None) -> MergeForest:
         trees.append(build_optimal_tree(p, start=offset))
         offset += p
     forest = MergeForest(trees)
+    forest.validate_for_length(L)
+    return forest
+
+
+def build_optimal_flat_forest(L: int, n: int, s: int | None = None):
+    """Flat-array version of :func:`build_optimal_forest` (Theorem 10).
+
+    Returns a :class:`~repro.fastpath.FlatForest` over arrivals
+    ``0..n-1`` with the same tree structure as the object builder, but
+    materialising only parent-index arrays — the path used at scales
+    (n ~ 10^5 and up) where a MergeNode graph is the bottleneck.
+    """
+    import numpy as np
+
+    from ..fastpath.flat_forest import FlatForest
+    from .offline import build_optimal_parent_array
+
+    _check_args(L, n)
+    if s is None:
+        s = optimal_stream_count(L, n)
+    if not min_streams(L, n) <= s <= n:
+        raise ValueError(f"infeasible stream count s={s} for L={L}, n={n}")
+    p, r = divmod(n, s)
+    parent = np.full(n, -1, dtype=np.intp)
+    templates = {
+        size: build_optimal_parent_array(size)
+        for size in ({p + 1, p} if r else {p})
+    }
+    offset = 0
+    for size in [p + 1] * r + [p] * (s - r):
+        seg = templates[size]
+        block = slice(offset, offset + size)
+        parent[block] = np.where(seg < 0, -1, seg + offset)
+        offset += size
+    forest = FlatForest(np.arange(n, dtype=np.float64), parent)
     forest.validate_for_length(L)
     return forest
 

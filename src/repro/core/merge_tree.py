@@ -253,6 +253,12 @@ class MergeTree:
 
     # -- misc --------------------------------------------------------------------
 
+    def to_flat(self):
+        """This tree as a one-tree :class:`~repro.fastpath.FlatForest`."""
+        from ..fastpath.flat_forest import FlatForest
+
+        return FlatForest.from_tree(self)
+
     def parent_map(self) -> Dict[float, Optional[float]]:
         """Map arrival -> parent arrival (root maps to None)."""
         return {
@@ -395,6 +401,17 @@ class MergeForest:
                         - node.parent.arrival
                     )
         return out
+
+    def to_flat(self):
+        """This forest as a :class:`~repro.fastpath.FlatForest`.
+
+        The flat form answers every cost/length/interval query with
+        vectorised numpy expressions; round-tripping back through
+        ``FlatForest.to_forest()`` is lossless.
+        """
+        from ..fastpath.flat_forest import FlatForest
+
+        return FlatForest.from_forest(self)
 
     def render(self) -> str:
         return "\n".join(t.render() for t in self.trees)

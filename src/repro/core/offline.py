@@ -39,6 +39,7 @@ __all__ = [
     "interval_case",
     "last_merge_table",
     "build_optimal_tree",
+    "build_optimal_parent_array",
     "fibonacci_tree",
     "enumerate_merge_trees",
     "enumerate_optimal_trees",
@@ -175,6 +176,32 @@ def build_optimal_tree(n: int, start: int = 0) -> MergeTree:
     finally:
         sys.setrecursionlimit(old_limit)
     return MergeTree(root)
+
+
+def build_optimal_parent_array(n: int) -> np.ndarray:
+    """Parent-index array of the Theorem 7 optimal tree, no objects built.
+
+    Entry ``i`` is the index of the parent of arrival ``i`` (``-1`` for
+    the root at index 0) in the same tree :func:`build_optimal_tree`
+    produces.  O(n) time and memory with an explicit work stack — the
+    flat-array input the fastpath :class:`~repro.fastpath.FlatForest`
+    constructors consume at scales where a MergeNode graph would thrash.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    table = last_merge_table(n)
+    parent = np.full(n, -1, dtype=np.intp)
+    stack: List[Tuple[int, int]] = [(0, n)]
+    while stack:
+        offset, size = stack.pop()
+        if size == 1:
+            continue
+        h = table[size]
+        # The right part's root (offset + h) merges into the left root.
+        parent[offset + h] = offset
+        stack.append((offset, h))
+        stack.append((offset + h, size - h))
+    return parent
 
 
 def fibonacci_tree(k: int, start: int = 0) -> MergeTree:

@@ -24,11 +24,13 @@ Theorem 22 that ``A(L, n) / F(L, n) <= 1 + 2L/n`` for ``L >= 7`` and
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional
+from typing import Iterator, List, Optional
+
+import numpy as np
 
 from .fibonacci import fib, tree_size_index
 from .merge_tree import MergeForest, MergeNode, MergeTree
-from .offline import build_optimal_tree
+from .offline import build_optimal_parent_array, build_optimal_tree
 from .full_cost import optimal_full_cost
 
 __all__ = [
@@ -36,6 +38,7 @@ __all__ = [
     "prefix_tree",
     "shift_tree",
     "build_online_forest",
+    "build_online_flat_forest",
     "online_full_cost",
     "online_over_optimal_ratio",
     "OnlineScheduler",
@@ -118,12 +121,46 @@ def shift_tree(tree: MergeTree, delta: float) -> MergeTree:
     return MergeTree(rec(tree.root))
 
 
+def build_online_flat_forest(L: int, n: int, tree_size: Optional[int] = None):
+    """Flat-array version of :func:`build_online_forest`.
+
+    Identical structure and costs (the fastpath equivalence tests prove
+    it), but materialises only parent-index arrays: the template parent
+    array is tiled across the full trees and truncated for the final
+    partial tree (a preorder prefix is parent-closed, so truncation *is*
+    the prefix tree).  O(L + n) with no per-node Python objects.
+    """
+    if L < 1 or n < 1:
+        raise ValueError(f"need L >= 1 and n >= 1, got L={L}, n={n}")
+    size = online_tree_size(L) if tree_size is None else tree_size
+    if not 1 <= size <= L:
+        raise ValueError(f"tree size {size} infeasible for L={L}")
+    from ..fastpath.flat_forest import FlatForest
+
+    template = build_optimal_parent_array(size)
+    q, rem = divmod(n, size)
+    parts = []
+    if q:
+        tiled = np.tile(template, q)
+        base = np.repeat(np.arange(q, dtype=np.intp) * size, size)
+        parts.append(np.where(tiled < 0, -1, tiled + base))
+    if rem:
+        tail = template[:rem]
+        parts.append(np.where(tail < 0, -1, tail + q * size))
+    parent = np.concatenate(parts)
+    forest = FlatForest(np.arange(n, dtype=np.float64), parent)
+    forest.validate_for_length(L)
+    return forest
+
+
 def online_full_cost(L: int, n: int, tree_size: Optional[int] = None) -> int:
     """``A(L, n)``: total bandwidth of the on-line DG algorithm.
 
+    Evaluated on the flat fast path (vectorised ``Fcost``); equal by
+    construction — and by test — to the object forest's ``full_cost``.
     ``tree_size`` overrides the static ``F_h`` choice (ablation use).
     """
-    return int(build_online_forest(L, n, tree_size=tree_size).full_cost(L))
+    return int(build_online_flat_forest(L, n, tree_size=tree_size).full_cost(L))
 
 
 def online_over_optimal_ratio(L: int, n: int) -> float:
@@ -170,22 +207,25 @@ class OnlineScheduler:
             raise ValueError(f"L must be >= 1, got {L}")
         self.L = L
         self.size = online_tree_size(L)
-        self.template = build_optimal_tree(self.size)
-        # Lookup tables indexed by node label (0..size-1 within a tree).
-        self._parent: Dict[int, Optional[int]] = {}
-        self._planned_length: Dict[int, int] = {}
-        for node in self.template.root.preorder():
-            label = int(node.arrival)
-            if node.parent is None:
-                self._parent[label] = None
-                self._planned_length[label] = L
-            else:
-                self._parent[label] = int(node.parent.arrival)
-                self._planned_length[label] = int(
-                    2 * node.last_descendant().arrival
-                    - node.arrival
-                    - node.parent.arrival
-                )
+        # Flat lookup tables indexed by node label (0..size-1 within a
+        # tree): parent index (-1 for the root) and planned stream length.
+        # Built from the parent array alone — no MergeNode graph.
+        from ..fastpath.flat_forest import FlatForest
+
+        self._parent = build_optimal_parent_array(self.size)
+        flat = FlatForest(np.arange(self.size, dtype=np.float64), self._parent)
+        self._planned_length = (
+            flat.stream_lengths(L).astype(np.int64).tolist()
+        )
+        self._parent_list = self._parent.tolist()
+        self._template: Optional[MergeTree] = None
+
+    @property
+    def template(self) -> MergeTree:
+        """The optimal tree as a MergeTree (built lazily, cached)."""
+        if self._template is None:
+            self._template = build_optimal_tree(self.size)
+        return self._template
 
     def order_for_slot(self, slot: int) -> StreamOrder:
         """The stream order for the slot ending at integer time ``slot``."""
@@ -193,13 +233,13 @@ class OnlineScheduler:
             raise ValueError(f"slot must be >= 0, got {slot}")
         tree_index, node = divmod(slot, self.size)
         base = tree_index * self.size
-        parent = self._parent[node]
+        parent = self._parent_list[node]
         return StreamOrder(
             slot=slot,
             tree_index=tree_index,
             node_in_tree=node,
-            is_root=parent is None,
-            parent_slot=None if parent is None else base + parent,
+            is_root=parent < 0,
+            parent_slot=None if parent < 0 else base + parent,
             planned_length=self._planned_length[node],
         )
 
@@ -215,9 +255,9 @@ class OnlineScheduler:
         tree_index, node = divmod(slot, self.size)
         base = tree_index * self.size
         path: List[int] = []
-        label: Optional[int] = node
-        while label is not None:
+        label = node
+        while label >= 0:
             path.append(base + label)
-            label = self._parent[label]
+            label = self._parent_list[label]
         path.reverse()
         return path

@@ -1,0 +1,42 @@
+"""Fast-path layer: optimized equivalents of the reference algorithms.
+
+Everything in this package computes *exactly* the same values as the
+reference implementations in :mod:`repro.core` — the O(n^2)/O(n^3) DPs in
+:mod:`repro.core.dp` and the pointer-based trees in
+:mod:`repro.core.merge_tree` stay behind as correctness oracles (see
+``tests/fastpath/``) — but does so at production scale:
+
+* :mod:`repro.fastpath.cost_tables` — incremental, module-level memoized
+  merge-cost tables filled in O(1) per entry via the Theorem 7 monotone
+  split recurrence (receive-two) and the half-split characterisation
+  below Eq. (20) (receive-all);
+* :mod:`repro.fastpath.general` — the general-arrivals optimal merge cost
+  with the Knuth/quadrangle-inequality speed-up, O(n^3) -> O(n^2);
+* :mod:`repro.fastpath.flat_forest` — :class:`FlatForest`, a flat
+  numpy-backed merge-forest representation with vectorised ``Mcost`` /
+  ``Fcost`` / stream-length / interval evaluation and lossless round-trip
+  conversion to/from :class:`~repro.core.merge_tree.MergeForest`.
+
+Benchmarks comparing old vs. new paths live in
+``benchmarks/bench_fastpath.py`` and emit ``BENCH_fastpath.json``.
+"""
+
+from .cost_tables import (
+    merge_cost,
+    merge_cost_table,
+    receive_all_cost,
+    receive_all_cost_table,
+    reset_cost_caches,
+)
+from .general import general_arrivals_cost
+from .flat_forest import FlatForest
+
+__all__ = [
+    "merge_cost",
+    "merge_cost_table",
+    "receive_all_cost",
+    "receive_all_cost_table",
+    "reset_cost_caches",
+    "general_arrivals_cost",
+    "FlatForest",
+]

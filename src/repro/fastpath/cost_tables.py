@@ -1,0 +1,134 @@
+"""Incremental, memoized merge-cost tables (O(1) per entry).
+
+The reference DPs (:func:`repro.core.dp.merge_cost_table` and
+:func:`repro.core.dp.receive_all_cost_table`) minimise over every split
+``h`` at every size — O(n^2) total — and recompute from scratch on every
+call.  Both minimisations have closed-form argmins:
+
+* receive-two: Theorem 7 gives the maximal optimal split ``r(i) = max
+  I(i)`` by the monotone recurrence ``r(i) = r(i-1) + 1`` while ``i <=
+  F_k + F_{k-2}`` (where ``F_k < i <= F_{k+1}``) and ``r(i) = r(i-1)``
+  otherwise, so ``M(i) = M(r) + M(i - r) + 2i - r - 2`` fills in O(1);
+* receive-all: the note below Eq. (20) proves the Eq. (19) minimum is
+  attained at ``h = floor(i/2)``, so ``Mw(i) = Mw(floor(i/2)) +
+  Mw(ceil(i/2)) + i - 1`` fills in O(1).
+
+On top of the O(n) fill, the tables live at module level and *extend*
+on demand: an experiment sweep that asks for ``M`` up to 10^3 and later
+up to 10^5 pays only for the new entries, and repeated calls are pure
+list slices.  ``tests/fastpath/test_cost_tables.py`` proves entry-exact
+agreement with the reference DPs.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.fibonacci import fib
+
+__all__ = [
+    "merge_cost_table",
+    "merge_cost",
+    "last_merge_splits",
+    "receive_all_cost_table",
+    "receive_all_cost",
+    "reset_cost_caches",
+]
+
+
+class _MergeTable:
+    """Grow-on-demand ``M(i)`` / ``r(i)`` tables (receive-two model)."""
+
+    def __init__(self) -> None:
+        self.m: List[int] = [0, 0]  # M(0) = M(1) = 0
+        self.r: List[int] = [0, 0]  # r(1) = 0 by convention
+        self._k = 3  # bracket state: F_k < i <= F_{k+1} for the next i >= 3
+
+    def extend(self, n: int) -> None:
+        i = len(self.m)
+        while i <= n:
+            if i == 2:
+                r = 1
+            else:
+                while i > fib(self._k + 1):
+                    self._k += 1
+                if i <= fib(self._k) + fib(self._k - 2):
+                    r = self.r[i - 1] + 1
+                else:
+                    r = self.r[i - 1]
+            self.r.append(r)
+            self.m.append(self.m[r] + self.m[i - r] + 2 * i - r - 2)
+            i += 1
+
+
+class _ReceiveAllTable:
+    """Grow-on-demand ``Mw(i)`` table (receive-all model)."""
+
+    def __init__(self) -> None:
+        self.m: List[int] = [0, 0]  # Mw(0) = Mw(1) = 0
+
+    def extend(self, n: int) -> None:
+        i = len(self.m)
+        while i <= n:
+            h = i // 2
+            self.m.append(self.m[h] + self.m[i - h] + i - 1)
+            i += 1
+
+
+_MERGE = _MergeTable()
+_RECEIVE_ALL = _ReceiveAllTable()
+
+
+def merge_cost_table(n: int) -> List[int]:
+    """``[M(0), ..., M(n)]``, equal entry-for-entry to the reference DP.
+
+    O(n) on first use, O(n) copy afterwards (the memo is shared state;
+    callers get an independent list they may mutate).
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    _MERGE.extend(n)
+    return _MERGE.m[: n + 1]
+
+
+def merge_cost(n: int) -> int:
+    """``M(n)`` from the memoized table (amortised O(1) after warm-up)."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    _MERGE.extend(n)
+    return _MERGE.m[n]
+
+
+def last_merge_splits(n: int) -> List[int]:
+    """``[r(0), r(1), ..., r(n)]`` with ``r(i) = max I(i)`` (Theorem 7).
+
+    Indexed like :func:`repro.core.offline.last_merge_table` (entries 0
+    and 1 are the 0 convention) but memoized and extendable.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    _MERGE.extend(n)
+    return _MERGE.r[: n + 1]
+
+
+def receive_all_cost_table(n: int) -> List[int]:
+    """``[Mw(0), ..., Mw(n)]``, equal entry-for-entry to the reference DP."""
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    _RECEIVE_ALL.extend(n)
+    return _RECEIVE_ALL.m[: n + 1]
+
+
+def receive_all_cost(n: int) -> int:
+    """``Mw(n)`` from the memoized table."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    _RECEIVE_ALL.extend(n)
+    return _RECEIVE_ALL.m[n]
+
+
+def reset_cost_caches() -> None:
+    """Drop the module-level memo state (test isolation helper)."""
+    global _MERGE, _RECEIVE_ALL
+    _MERGE = _MergeTable()
+    _RECEIVE_ALL = _ReceiveAllTable()

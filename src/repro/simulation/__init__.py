@@ -14,7 +14,7 @@ from .policies import (
     UnicastPolicy,
 )
 from .hybrid import HybridPolicy
-from .channels import ChannelAssignment, StreamInterval, assign_channels, assign_forest_channels, forest_intervals
+from .channels import ChannelAssignment, StreamInterval, assign_channels, assign_forest_channels, flat_forest_intervals, forest_intervals, min_forest_channels, peak_concurrency
 from .server import Simulation, SimulationResult
 from .stream import Stream
 from .verify import (
@@ -44,7 +44,10 @@ __all__ = [
     "StreamInterval",
     "assign_channels",
     "assign_forest_channels",
+    "flat_forest_intervals",
     "forest_intervals",
+    "min_forest_channels",
+    "peak_concurrency",
     "UnicastPolicy",
     "VerificationReport",
     "verify_forest",

@@ -17,15 +17,21 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from typing import List, Sequence, Tuple, Union
 
-from ..core.merge_tree import MergeForest
+import numpy as np
+
+from ..core.merge_tree import MergeForest, _as_int_if_exact
+from ..fastpath.flat_forest import FlatForest, as_flat_forest
 
 __all__ = [
     "StreamInterval",
     "ChannelAssignment",
     "assign_channels",
     "forest_intervals",
+    "flat_forest_intervals",
+    "peak_concurrency",
+    "min_forest_channels",
     "assign_forest_channels",
 ]
 
@@ -116,16 +122,62 @@ def assign_channels(intervals: Sequence[StreamInterval]) -> ChannelAssignment:
     return assignment
 
 
-def forest_intervals(forest: MergeForest, L: float) -> List[StreamInterval]:
-    """The stream intervals a merge forest occupies (Lemma 1 lengths)."""
-    out = []
-    for label, length in forest.stream_lengths(L).items():
-        if length > 0:
-            out.append(StreamInterval(label=label, start=label, end=label + length))
-    return out
+def forest_intervals(
+    forest: Union[MergeForest, FlatForest], L: float
+) -> List[StreamInterval]:
+    """The stream intervals a merge forest occupies (Lemma 1 lengths).
+
+    Accepts either representation; lengths come from the vectorised
+    fast path (``FlatForest.intervals``) in both cases.
+    """
+    labels, starts, ends = flat_forest_intervals(forest, L)
+    return [
+        StreamInterval(label=_as_int_if_exact(label), start=start, end=end)
+        for label, start, end in zip(labels.tolist(), starts.tolist(), ends.tolist())
+    ]
 
 
-def assign_forest_channels(forest: MergeForest, L: float) -> ChannelAssignment:
+def flat_forest_intervals(
+    forest: Union[MergeForest, FlatForest], L: float
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Interval arrays ``(labels, starts, ends)`` without object wrappers.
+
+    The large-n entry point: at n ~ 10^5 building StreamInterval objects
+    dominates, so channel math (see :func:`peak_concurrency`) consumes
+    these arrays directly.
+    """
+    return as_flat_forest(forest).intervals(L)
+
+
+def peak_concurrency(starts: np.ndarray, ends: np.ndarray) -> int:
+    """Peak number of concurrently live half-open intervals, vectorised.
+
+    Equals the optimal channel count (interval-graph colouring): at the
+    k-th start (sorted), ``k + 1`` streams have started and
+    ``#{ends <= start}`` have freed their channel.  O(n log n) in numpy.
+    """
+    if len(starts) == 0:
+        return 0
+    s = np.sort(np.asarray(starts, dtype=np.float64))
+    e = np.sort(np.asarray(ends, dtype=np.float64))
+    live = np.arange(1, s.size + 1) - np.searchsorted(e, s, side="right")
+    return int(live.max())
+
+
+def min_forest_channels(forest: Union[MergeForest, FlatForest], L: float) -> int:
+    """Minimum channel count for a forest, without building a schedule.
+
+    Agrees with ``assign_forest_channels(...).num_channels`` (greedy
+    first-fit is optimal for intervals) but runs vectorised — the fast
+    path for provisioning sweeps over large forests.
+    """
+    _labels, starts, ends = flat_forest_intervals(forest, L)
+    return peak_concurrency(starts, ends)
+
+
+def assign_forest_channels(
+    forest: Union[MergeForest, FlatForest], L: float
+) -> ChannelAssignment:
     """Channel plan for a merge forest; count == peak concurrency."""
     assignment = assign_channels(forest_intervals(forest, L))
     assignment.validate()

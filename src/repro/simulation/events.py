@@ -29,9 +29,17 @@ class Event:
     seq: int
     action: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    #: owning queue while the event is still pending in the heap; cleared
+    #: on pop so the live-event counter is decremented exactly once.
+    _queue: Optional["EventQueue"] = field(default=None, compare=False, repr=False)
 
     def cancel(self) -> None:
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._queue is not None:
+            self._queue._live -= 1
+            self._queue = None
 
 
 class EventQueue:
@@ -42,9 +50,12 @@ class EventQueue:
         self._counter = itertools.count()
         self.now: float = 0.0
         self._processed = 0
+        self._live = 0
 
     def __len__(self) -> int:
-        return sum(1 for e in self._heap if not e.cancelled)
+        # O(1): maintained on schedule / cancel / pop instead of scanning
+        # the heap for tombstones on every call.
+        return self._live
 
     @property
     def processed(self) -> int:
@@ -62,6 +73,8 @@ class EventQueue:
                 f"cannot schedule in the past: {time} < now = {self.now}"
             )
         event = Event(time=time, priority=priority, seq=next(self._counter), action=action)
+        event._queue = self
+        self._live += 1
         heapq.heappush(self._heap, event)
         return event
 
@@ -77,6 +90,8 @@ class EventQueue:
             event = heapq.heappop(self._heap)
             if event.cancelled:
                 continue
+            event._queue = None
+            self._live -= 1
             self.now = event.time
             self._processed += 1
             event.action()

@@ -22,7 +22,7 @@ Integer-slotted forests get exact part-by-part replay; real-valued forests
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple, TYPE_CHECKING
+from typing import List, Optional, Tuple, TYPE_CHECKING, Union
 
 from ..core.buffers import buffer_requirement
 from ..core.merge_tree import MergeForest
@@ -31,6 +31,7 @@ from ..core.receiving_program import (
     receive_all_program,
     receive_two_program,
 )
+from ..fastpath.flat_forest import FlatForest, as_flat_forest
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .server import SimulationResult
@@ -70,21 +71,28 @@ class VerificationReport:
 
 
 def verify_forest(
-    forest: MergeForest,
+    forest: Union[MergeForest, FlatForest],
     L: int,
     model: str = "receive-two",
     buffer_bound: Optional[float] = None,
 ) -> VerificationReport:
-    """Exact replay verification of an integer-slotted merge forest."""
+    """Exact replay verification of an integer-slotted merge forest.
+
+    Accepts either forest representation; stream-length bookkeeping runs
+    on the flat fast path, the part-by-part replay on the object form.
+    """
     report = VerificationReport()
+    flat = as_flat_forest(forest)
+    if isinstance(forest, FlatForest):
+        forest = forest.to_forest()
     try:
-        forest.validate_for_length(L)
+        flat.validate_for_length(L)
     except ValueError as exc:
         report.record(False, f"forest infeasible for L={L}: {exc}")
         return report
 
     programs = forest_programs(forest, L, model=model)
-    lengths = _model_stream_lengths(forest, L, model)
+    lengths = _model_stream_lengths(flat, L, model)
     demanded: dict = {}
 
     for arrival, prog in programs.items():
@@ -118,37 +126,22 @@ def verify_forest(
                 )
 
     # Tightness: every non-root stream's length is fully consumed.
-    for tree in forest:
-        for node in tree.root.preorder():
-            if node.parent is None:
-                continue
-            label = node.arrival
-            report.record(
-                demanded.get(label, 0) == lengths[label],
-                f"stream {label}: length {lengths[label]} but only part "
-                f"{demanded.get(label, 0)} ever read (not tight)",
-            )
+    for label in flat.arrivals[flat.parent >= 0].tolist():
+        report.record(
+            demanded.get(label, 0) == lengths[label],
+            f"stream {label}: length {lengths[label]} but only part "
+            f"{demanded.get(label, 0)} ever read (not tight)",
+        )
     return report
 
 
-def _model_stream_lengths(forest: MergeForest, L: int, model: str) -> dict:
-    """Per-stream lengths under the requested client model.
+def _model_stream_lengths(flat: FlatForest, L: int, model: str) -> dict:
+    """Per-stream lengths under the requested client model, vectorised.
 
     Receive-two: Lemma 1 (``2z - x - p``); receive-all: Lemma 17
     (``z - p``).  Roots carry ``L`` either way.
     """
-    if model == "receive-two":
-        return forest.stream_lengths(L)
-    lengths: dict = {}
-    for tree in forest:
-        for node in tree.root.preorder():
-            if node.parent is None:
-                lengths[node.arrival] = L
-            else:
-                lengths[node.arrival] = (
-                    node.last_descendant().arrival - node.parent.arrival
-                )
-    return lengths
+    return flat.stream_length_map(L, model)
 
 
 def _client_intervals_continuous(
@@ -179,15 +172,20 @@ def _client_intervals_continuous(
     return pieces
 
 
-def verify_forest_continuous(forest: MergeForest, L: float) -> VerificationReport:
+def verify_forest_continuous(
+    forest: Union[MergeForest, FlatForest], L: float
+) -> VerificationReport:
     """Interval-based verification for real-valued (unslotted) forests."""
     report = VerificationReport()
+    flat = as_flat_forest(forest)
+    if isinstance(forest, FlatForest):
+        forest = forest.to_forest()
     try:
-        forest.validate_for_length(L)
+        flat.validate_for_length(L)
     except ValueError as exc:
         report.record(False, f"forest infeasible for L={L}: {exc}")
         return report
-    lengths = forest.stream_lengths(L)
+    lengths = flat.stream_length_map(L)
     demanded: dict = {}
     eps = 1e-9
 
@@ -216,16 +214,12 @@ def verify_forest_continuous(forest: MergeForest, L: float) -> VerificationRepor
                     f"(length {lengths[stream]})",
                 )
 
-    for tree in forest:
-        for node in tree.root.preorder():
-            if node.parent is None:
-                continue
-            label = node.arrival
-            report.record(
-                abs(demanded.get(label, 0.0) - lengths[label]) <= eps,
-                f"stream {label}: length {lengths[label]} vs demand "
-                f"{demanded.get(label, 0.0)} (not tight)",
-            )
+    for label in flat.arrivals[flat.parent >= 0].tolist():
+        report.record(
+            abs(demanded.get(label, 0.0) - lengths[label]) <= eps,
+            f"stream {label}: length {lengths[label]} vs demand "
+            f"{demanded.get(label, 0.0)} (not tight)",
+        )
     return report
 
 

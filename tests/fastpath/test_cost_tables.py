@@ -1,0 +1,81 @@
+"""Fast memoized cost tables vs. the reference O(n^2) DPs."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import dp, offline
+from repro.fastpath import cost_tables
+
+
+class TestMergeCostTable:
+    @given(st.integers(min_value=0, max_value=250))
+    def test_matches_reference_dp(self, n):
+        assert cost_tables.merge_cost_table(n) == dp.merge_cost_table(n)
+
+    @given(st.integers(min_value=1, max_value=250))
+    def test_scalar_matches_closed_form(self, n):
+        assert cost_tables.merge_cost(n) == offline.merge_cost(n)
+
+    def test_incremental_extension_matches_fresh(self):
+        cost_tables.reset_cost_caches()
+        # Grow in stages; every stage must match a from-scratch DP.
+        for n in (5, 7, 40, 40, 123, 200):
+            assert cost_tables.merge_cost_table(n) == dp.merge_cost_table(n)
+
+    def test_returned_list_is_independent(self):
+        a = cost_tables.merge_cost_table(30)
+        a[10] = -999
+        assert cost_tables.merge_cost_table(30)[10] == dp.merge_cost_table(30)[10]
+
+    @given(st.integers(min_value=2, max_value=200))
+    def test_splits_match_theorem7_table(self, n):
+        assert cost_tables.last_merge_splits(n) == offline.last_merge_table(n)
+
+    @given(st.integers(min_value=2, max_value=150))
+    def test_split_is_in_dp_argmin_set(self, n):
+        splits = cost_tables.last_merge_splits(n)
+        sets = dp.argmin_sets(n)
+        assert splits[n] == max(sets[n - 1])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cost_tables.merge_cost_table(-1)
+        with pytest.raises(ValueError):
+            cost_tables.merge_cost(0)
+        with pytest.raises(ValueError):
+            cost_tables.last_merge_splits(0)
+
+
+class TestReceiveAllTable:
+    @given(st.integers(min_value=0, max_value=250))
+    def test_matches_reference_dp(self, n):
+        assert cost_tables.receive_all_cost_table(n) == dp.receive_all_cost_table(n)
+
+    @given(st.integers(min_value=1, max_value=250))
+    def test_scalar(self, n):
+        assert cost_tables.receive_all_cost(n) == dp.receive_all_cost(n)
+
+    def test_incremental_extension_matches_fresh(self):
+        cost_tables.reset_cost_caches()
+        for n in (3, 11, 64, 64, 199):
+            assert (
+                cost_tables.receive_all_cost_table(n)
+                == dp.receive_all_cost_table(n)
+            )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cost_tables.receive_all_cost_table(-2)
+        with pytest.raises(ValueError):
+            cost_tables.receive_all_cost(0)
+
+
+@settings(max_examples=25)
+@given(st.integers(min_value=1, max_value=400))
+def test_large_table_consistency(n):
+    """The shared memo never drifts as mixed-size queries interleave."""
+    assert cost_tables.merge_cost(n) == offline.merge_cost(n)
+    assert cost_tables.receive_all_cost(n) == dp.receive_all_cost_table(n)[n]

@@ -1,0 +1,59 @@
+"""O(1) EventQueue.__len__ counter vs. a naive heap scan."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulation.events import EventQueue
+
+
+def naive_len(q: EventQueue) -> int:
+    return sum(1 for e in q._heap if not e.cancelled)
+
+
+class TestLiveCounter:
+    def test_schedule_cancel_pop(self):
+        q = EventQueue()
+        events = [q.schedule(float(t), lambda: None) for t in range(5)]
+        assert len(q) == 5 == naive_len(q)
+        events[2].cancel()
+        assert len(q) == 4 == naive_len(q)
+        events[2].cancel()  # idempotent
+        assert len(q) == 4 == naive_len(q)
+        q.step()
+        assert len(q) == 3 == naive_len(q)
+        q.run()
+        assert len(q) == 0 == naive_len(q)
+
+    def test_cancel_after_execution_is_a_noop(self):
+        q = EventQueue()
+        e = q.schedule(1.0, lambda: None)
+        q.run()
+        assert len(q) == 0
+        e.cancel()  # already executed; must not drive the counter negative
+        assert len(q) == 0
+
+    def test_cancel_from_inside_action(self):
+        q = EventQueue()
+        later = q.schedule(2.0, lambda: None)
+        q.schedule(1.0, later.cancel)
+        assert len(q) == 2
+        q.run()
+        assert len(q) == 0 == naive_len(q)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.sampled_from(["schedule", "cancel", "step"]), max_size=60))
+    def test_random_operation_sequences(self, ops):
+        q = EventQueue()
+        pending = []
+        t = 0.0
+        for op in ops:
+            if op == "schedule":
+                t += 1.0
+                pending.append(q.schedule(q.now + t, lambda: None))
+            elif op == "cancel" and pending:
+                pending.pop(len(pending) // 2).cancel()
+            elif op == "step":
+                q.step()
+            assert len(q) == naive_len(q)

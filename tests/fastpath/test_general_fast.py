@@ -1,0 +1,63 @@
+"""Knuth-optimized general-arrivals cost vs. the O(n^3) reference oracle."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import dp, offline
+from repro.fastpath.general import general_arrivals_cost
+
+from tests.conftest import increasing_times
+
+
+class TestAgainstCubicOracle:
+    @settings(max_examples=150, deadline=None)
+    @given(increasing_times(min_size=1, max_size=40))
+    def test_exact_equality_random_times(self, times):
+        # Bit-for-bit, not approximately: the fast path evaluates the
+        # same float expressions in the same order.
+        assert general_arrivals_cost(times) == dp.general_arrivals_cost_reference(times)
+
+    @given(increasing_times(min_size=1, max_size=30, horizon=5.0))
+    @settings(max_examples=80, deadline=None)
+    def test_exact_equality_dense_times(self, times):
+        assert general_arrivals_cost(times) == dp.general_arrivals_cost_reference(times)
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 8, 13, 21, 34, 55])
+    def test_consecutive_integers_match_closed_form(self, n):
+        ts = list(range(n))
+        got = general_arrivals_cost(ts)
+        assert got == offline.merge_cost(n)
+        assert isinstance(got, int)
+
+    def test_core_dp_delegates_to_fast_path(self):
+        ts = [0.0, 0.7, 1.9, 2.0, 5.5]
+        assert dp.general_arrivals_cost(ts) == general_arrivals_cost(ts)
+        assert dp.general_arrivals_cost(ts) == dp.general_arrivals_cost_reference(ts)
+
+
+class TestEdgeCases:
+    def test_empty_is_zero(self):
+        assert general_arrivals_cost([]) == 0
+
+    def test_singleton_is_zero(self):
+        assert general_arrivals_cost([3.25]) == 0
+
+    def test_pair(self):
+        assert general_arrivals_cost([1.0, 4.0]) == 3
+
+    def test_non_increasing_rejected(self):
+        with pytest.raises(ValueError):
+            general_arrivals_cost([0.0, 1.0, 1.0])
+        with pytest.raises(ValueError):
+            general_arrivals_cost([2.0, 1.0])
+
+    def test_integer_result_collapses_to_int(self):
+        assert isinstance(general_arrivals_cost([0, 1, 2, 3]), int)
+
+    def test_scaled_arrivals_scale_cost(self):
+        ts = [0.0, 1.0, 2.5, 4.0]
+        assert general_arrivals_cost([2 * t for t in ts]) == pytest.approx(
+            2 * general_arrivals_cost(ts)
+        )
