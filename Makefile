@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python
 
-.PHONY: test bench bench-smoke
+.PHONY: test bench bench-general bench-smoke
 
 ## tier-1 test suite (must stay green)
 test:
@@ -13,6 +13,12 @@ test:
 bench:
 	$(PY) benchmarks/bench_fastpath.py
 
-## quick pytest-benchmark pass over the fastpath smoke cases (CI job)
+## general-arrivals sweep: regenerates BENCH_general.json (times the
+## O(n^3) forest oracle at n=2000 once; takes several minutes)
+bench-general:
+	$(PY) benchmarks/bench_general.py
+
+## quick pytest-benchmark pass over the fastpath + general-arrivals smoke
+## cases (CI job; every run asserts fast == reference)
 bench-smoke:
-	$(PY) -m pytest benchmarks/bench_fastpath.py --benchmark-only -q
+	$(PY) -m pytest benchmarks/bench_fastpath.py benchmarks/bench_general.py --benchmark-only -q

@@ -35,6 +35,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..core.fibonacci import PHI, fib, tree_size_index
 from ..core.merge_tree import MergeForest, MergeNode, MergeTree
+from ..core.validation import check_finite_value, check_strictly_increasing
 
 __all__ = [
     "DyadicParams",
@@ -162,8 +163,7 @@ def dyadic_tree(
     ts = list(arrivals)
     if not ts:
         raise ValueError("need at least one arrival")
-    if any(b <= a for a, b in zip(ts, ts[1:])):
-        raise ValueError("arrivals must be strictly increasing")
+    check_strictly_increasing(ts, what="arrivals")
     root, rest = ts[0], ts[1:]
     cutoff = root + params.window(L)
     if rest and rest[-1] > cutoff:
@@ -185,8 +185,7 @@ def dyadic_forest(
     ts = list(arrivals)
     if not ts:
         raise ValueError("need at least one arrival")
-    if any(b <= a for a, b in zip(ts, ts[1:])):
-        raise ValueError("arrivals must be strictly increasing")
+    check_strictly_increasing(ts, what="arrivals")
     trees: List[MergeTree] = []
     i = 0
     while i < len(ts):
@@ -252,6 +251,7 @@ class DyadicOnline:
         receiving path, which merging simulators use to extend ancestor
         streams per Lemma 1).
         """
+        check_finite_value(t, what="arrival")
         if self._last_time is not None and t <= self._last_time:
             raise ValueError(
                 f"arrivals must be strictly increasing: {t} after {self._last_time}"

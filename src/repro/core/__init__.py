@@ -57,6 +57,7 @@ from .analysis import (
 )
 from .general import (
     optimal_forest_general,
+    optimal_forest_general_reference,
     optimal_full_cost_general,
     optimal_merge_cost_general,
     optimal_merge_tree_general,
@@ -116,6 +117,7 @@ __all__ = [
     "merge_hop_histogram",
     "tree_stats",
     "optimal_forest_general",
+    "optimal_forest_general_reference",
     "optimal_full_cost_general",
     "optimal_merge_cost_general",
     "optimal_merge_tree_general",

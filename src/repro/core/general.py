@@ -3,24 +3,33 @@
 The delay-guaranteed setting of the paper is the special case of one
 arrival per slot; the general case — arbitrary strictly-increasing arrival
 times, e.g. the ends of the non-empty slots of a sparse workload — is
-solved by the dynamic program of Bar-Noy & Ladner [6], which this module
-implements with full tree reconstruction:
+solved by the dynamic program of Bar-Noy & Ladner [6]:
 
     cost(i, j) = min_{i < h <= j} cost(i, h-1) + cost(h, j)
                                   + (2 t_j - t_h - t_i)
 
 (Lemma 2 with real arrival times: ``x = t_h`` is the last stream to merge
-into the root ``t_i`` and ``z = t_j`` the last arrival).  The table is
-O(n^2) space and the evaluation O(n^3) time — this is the *reference*
-optimum used to score on-line heuristics (dyadic, hybrid) on irregular
-traces; the paper's O(n) algorithm covers the uniform case.
-
-Roots are placed by a second DP over prefixes:
+into the root ``t_i`` and ``z = t_j`` the last arrival).  Roots are placed
+by a second DP over prefixes:
 
     best(j) = min_{i <= j} best(i - 1) + L + cost(i, j)   (t_i a root)
 
 subject to the span constraint ``t_j - t_i <= L - 1`` so every client can
 still merge into the root's full stream.
+
+Two implementations live here:
+
+* the **public entry points** (:func:`optimal_forest_general` and
+  friends) run in O(n^2) via the Knuth-windowed tables of
+  :mod:`repro.fastpath.general`, reconstructing the forest directly into
+  flat parent arrays — this is what
+  :class:`~repro.simulation.policies.GeneralOfflinePolicy` scores the
+  on-line heuristics against at production trace sizes;
+* the original O(n^3) full-scan DP with recursive ``MergeNode``
+  reconstruction is kept verbatim as
+  :func:`optimal_forest_general_reference` — the correctness oracle the
+  fastpath equivalence tests (``tests/fastpath/test_general_forest.py``)
+  compare against, node for node.
 """
 
 from __future__ import annotations
@@ -28,22 +37,29 @@ from __future__ import annotations
 from typing import List, Sequence, Tuple
 
 from .merge_tree import MergeForest, MergeNode, MergeTree
+from .validation import check_strictly_increasing
 
 __all__ = [
     "optimal_merge_tree_general",
     "optimal_merge_cost_general",
     "optimal_forest_general",
+    "optimal_forest_general_reference",
     "optimal_full_cost_general",
 ]
 
 
 def _check_times(ts: Sequence[float]) -> None:
-    if any(b <= a for a, b in zip(ts, ts[1:])):
-        raise ValueError("arrival times must be strictly increasing")
+    # NaN defeats pairwise comparisons (every one is False), so the shared
+    # helper rejects non-finite values before checking monotonicity.
+    check_strictly_increasing(ts)
 
 
 def _merge_tables(ts: Sequence[float]) -> Tuple[List[List[float]], List[List[int]]]:
-    """DP tables: cost[i][j] and the (largest) argmin split h for i..j."""
+    """Reference DP tables: cost[i][j] and the (largest) argmin split h.
+
+    O(n^3) full scan — oracle only; the public paths use the O(n^2)
+    Knuth-windowed :func:`repro.fastpath.general.general_merge_tables`.
+    """
     n = len(ts)
     cost = [[0.0] * n for _ in range(n)]
     split = [[0] * n for _ in range(n)]
@@ -76,36 +92,47 @@ def _reconstruct(
 
 
 def optimal_merge_tree_general(arrivals: Sequence[float]) -> MergeTree:
-    """An optimal merge tree over arbitrary arrival times (O(n^3)).
+    """An optimal merge tree over arbitrary arrival times (O(n^2)).
 
     All arrivals merge (transitively) into the first one; use
     :func:`optimal_forest_general` when full-stream placement matters.
     """
-    ts = list(arrivals)
-    if not ts:
-        raise ValueError("need at least one arrival")
-    _check_times(ts)
-    _cost, split = _merge_tables(ts)
-    tree = MergeTree(_reconstruct(ts, split, 0, len(ts) - 1))
-    return tree
+    from ..fastpath.general import optimal_flat_tree_general
+
+    flat = optimal_flat_tree_general(arrivals)
+    return flat.to_forest().trees[0]
 
 
 def optimal_merge_cost_general(arrivals: Sequence[float]) -> float:
-    """Optimal merge cost (root excluded) for arbitrary arrivals."""
-    ts = list(arrivals)
-    if not ts:
-        return 0
-    _check_times(ts)
-    cost, _split = _merge_tables(ts)
-    value = cost[0][len(ts) - 1]
-    return int(value) if float(value).is_integer() else value
+    """Optimal merge cost (root excluded) for arbitrary arrivals (O(n^2))."""
+    from ..fastpath.general import general_arrivals_cost
+
+    return general_arrivals_cost(arrivals)
 
 
 def optimal_forest_general(arrivals: Sequence[float], L: float) -> MergeForest:
     """Optimal merge forest (roots included) for arbitrary arrivals.
 
     Minimises ``s * L + sum of merge costs`` with the feasibility
-    constraint that each tree spans at most ``L - 1``.  O(n^3) total.
+    constraint that each tree spans at most ``L - 1``.  O(n^2) total via
+    the fastpath tables; agrees with
+    :func:`optimal_forest_general_reference` (see the exactness contract
+    in :mod:`repro.fastpath.general`).
+    """
+    from ..fastpath.general import optimal_flat_forest_general
+
+    # Already span-validated in flat form; to_forest() is lossless.
+    return optimal_flat_forest_general(arrivals, L).to_forest()
+
+
+def optimal_forest_general_reference(
+    arrivals: Sequence[float], L: float
+) -> MergeForest:
+    """The original O(n^3) forest construction — kept as the oracle.
+
+    Full-scan DP tables, prefix root placement, recursive ``MergeNode``
+    reconstruction.  Reference only: quadratic table scans per cell make
+    it unusable beyond a few hundred arrivals.
     """
     ts = list(arrivals)
     if not ts:

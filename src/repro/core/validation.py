@@ -1,0 +1,45 @@
+"""Shared arrival-time validation.
+
+Every DP and forest builder in the repo requires strictly increasing
+arrival times.  The naive check ``any(b <= a for a, b in zip(ts, ts[1:]))``
+is *not* total: every comparison against a NaN is False, so a NaN (or a
+pair of them) sails through "strictly increasing" validation and then
+silently corrupts the dynamic programs downstream (min() over NaN
+candidates propagates NaN into every cell).  Infinities pass the
+comparison chain too and overflow the cost arithmetic.
+
+This module is the single choke point: one pass that rejects non-finite
+values *and* non-monotone neighbours, shared by ``repro.core.general``,
+``repro.fastpath.general`` and ``repro.baselines.dyadic`` (the three
+entry points that accept raw user-supplied arrival sequences).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = ["check_strictly_increasing", "check_finite_value"]
+
+
+def check_finite_value(t: float, what: str = "arrival time") -> None:
+    """Reject NaN and +-inf (one value; used by on-line push paths)."""
+    if not math.isfinite(t):
+        raise ValueError(f"{what} must be finite, got {t!r}")
+
+
+def check_strictly_increasing(
+    times: Sequence[float], what: str = "arrival times"
+) -> None:
+    """Reject non-finite values and non-increasing neighbours in one pass.
+
+    NaN never compares, so the monotonicity check alone would accept it;
+    the finiteness test must come first for every element.
+    """
+    prev = None
+    for t in times:
+        if not math.isfinite(t):
+            raise ValueError(f"{what} must be finite, got {t!r}")
+        if prev is not None and t <= prev:
+            raise ValueError(f"{what} must be strictly increasing")
+        prev = t

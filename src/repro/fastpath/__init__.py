@@ -10,8 +10,12 @@ reference implementations in :mod:`repro.core` — the O(n^2)/O(n^3) DPs in
   merge-cost tables filled in O(1) per entry via the Theorem 7 monotone
   split recurrence (receive-two) and the half-split characterisation
   below Eq. (20) (receive-all);
-* :mod:`repro.fastpath.general` — the general-arrivals optimal merge cost
-  with the Knuth/quadrangle-inequality speed-up, O(n^3) -> O(n^2);
+* :mod:`repro.fastpath.general` — the full general-arrivals solution with
+  the Knuth/quadrangle-inequality speed-up, O(n^3) -> O(n^2): cost-only
+  (:func:`~repro.fastpath.general.general_arrivals_cost`), the DP tables
+  themselves, and the span-constrained optimal forest reconstructed
+  directly into flat parent arrays
+  (:func:`~repro.fastpath.general.optimal_flat_forest_general`);
 * :mod:`repro.fastpath.flat_forest` — :class:`FlatForest`, a flat
   numpy-backed merge-forest representation with vectorised ``Mcost`` /
   ``Fcost`` / stream-length / interval evaluation and lossless round-trip
@@ -28,7 +32,12 @@ from .cost_tables import (
     receive_all_cost_table,
     reset_cost_caches,
 )
-from .general import general_arrivals_cost
+from .general import (
+    general_arrivals_cost,
+    general_merge_tables,
+    optimal_flat_forest_general,
+    optimal_flat_tree_general,
+)
 from .flat_forest import FlatForest
 
 __all__ = [
@@ -38,5 +47,8 @@ __all__ = [
     "receive_all_cost_table",
     "reset_cost_caches",
     "general_arrivals_cost",
+    "general_merge_tables",
+    "optimal_flat_forest_general",
+    "optimal_flat_tree_general",
     "FlatForest",
 ]

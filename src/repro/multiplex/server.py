@@ -26,8 +26,12 @@ import numpy as np
 
 from ..arrivals.traces import ArrivalTrace
 from ..baselines.dyadic import DyadicParams, dyadic_forest
-from ..core.online import build_online_forest
-from ..simulation.channels import StreamInterval, forest_intervals
+from ..core.online import build_online_flat_forest
+from ..simulation.channels import (
+    StreamInterval,
+    flat_forest_intervals,
+    peak_concurrency,
+)
 from .catalog import Catalog, MediaObject
 
 __all__ = [
@@ -42,28 +46,62 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class ObjectLoad:
-    """One object's stream intervals over the horizon, in minutes."""
+    """One object's stream intervals over the horizon, in minutes.
+
+    The intervals live as parallel numpy arrays (``labels``, ``starts``,
+    ``ends``) so catalog-wide aggregation never walks per-stream Python
+    objects; :attr:`intervals` materialises ``StreamInterval`` tuples on
+    demand for rendering and tests.
+    """
 
     name: str
     L: int
     delay_minutes: float
     total_units_minutes: float
-    intervals: Tuple[StreamInterval, ...]
+    labels: np.ndarray
+    starts: np.ndarray
+    ends: np.ndarray
     clients: int = 0
+
+    @property
+    def intervals(self) -> Tuple[StreamInterval, ...]:
+        return tuple(
+            StreamInterval(label=l, start=s, end=e)
+            for l, s, e in zip(
+                self.labels.tolist(), self.starts.tolist(), self.ends.tolist()
+            )
+        )
 
     @property
     def peak(self) -> int:
         return aggregate_peak([self])
 
 
-def _scale_intervals(
-    intervals: Sequence[StreamInterval], scale: float
-) -> Tuple[StreamInterval, ...]:
-    return tuple(
-        StreamInterval(label=s.label * scale, start=s.start * scale, end=s.end * scale)
-        for s in intervals
+_EMPTY = np.empty(0, dtype=np.float64)
+
+
+def _load_from_arrays(
+    name: str,
+    L: int,
+    delay_minutes: float,
+    labels: np.ndarray,
+    starts: np.ndarray,
+    ends: np.ndarray,
+    clients: int,
+) -> ObjectLoad:
+    """Build an ``ObjectLoad`` from slot-unit interval arrays (scaled here)."""
+    scale = delay_minutes
+    return ObjectLoad(
+        name=name,
+        L=L,
+        delay_minutes=delay_minutes,
+        total_units_minutes=float(np.sum(ends - starts) * scale),
+        labels=labels * scale,
+        starts=starts * scale,
+        ends=ends * scale,
+        clients=clients,
     )
 
 
@@ -73,22 +111,17 @@ def dg_object_load(
     """The Delay Guaranteed envelope for one object — workload-independent.
 
     A stream starts every ``delay_minutes``; the merge forest is the
-    static Fibonacci-tree forest over ``horizon / delay`` slots.
+    static Fibonacci-tree forest over ``horizon / delay`` slots (built
+    flat — no ``MergeNode`` objects at any catalog scale).
     """
     if horizon_minutes <= 0:
         raise ValueError("horizon must be positive")
     L = obj.units(delay_minutes)
     n_slots = max(1, int(np.ceil(horizon_minutes / delay_minutes)))
-    forest = build_online_forest(L, n_slots)
-    raw = forest_intervals(forest, L)
-    intervals = _scale_intervals(raw, delay_minutes)
-    total = sum(s.units for s in intervals)
-    return ObjectLoad(
-        name=obj.name,
-        L=L,
-        delay_minutes=delay_minutes,
-        total_units_minutes=total,
-        intervals=intervals,
+    forest = build_online_flat_forest(L, n_slots)
+    labels, starts, ends = forest.intervals(L)
+    return _load_from_arrays(
+        obj.name, L, delay_minutes, labels, starts, ends, clients=0
     )
 
 
@@ -110,56 +143,75 @@ def dyadic_object_load(
             L=L,
             delay_minutes=delay_minutes,
             total_units_minutes=0.0,
-            intervals=(),
+            labels=_EMPTY,
+            starts=_EMPTY,
+            ends=_EMPTY,
             clients=0,
         )
     params = params or DyadicParams()
     # dyadic works in slot units; convert the trace, then scale back.
     ts = [t / delay_minutes for t in trace_minutes]
     forest = dyadic_forest(ts, L, params)
-    raw = forest_intervals(forest, L)
-    intervals = _scale_intervals(raw, delay_minutes)
-    total = sum(s.units for s in intervals)
-    return ObjectLoad(
-        name=obj.name,
-        L=L,
-        delay_minutes=delay_minutes,
-        total_units_minutes=total,
-        intervals=intervals,
+    labels, starts, ends = flat_forest_intervals(forest, L)
+    return _load_from_arrays(
+        obj.name, L, delay_minutes, labels, starts, ends,
         clients=len(trace_minutes),
     )
 
 
+def _stacked_intervals(
+    loads: Sequence[ObjectLoad],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """All loads' ``(starts, ends)`` concatenated (possibly empty)."""
+    if not loads:
+        return _EMPTY, _EMPTY
+    starts = np.concatenate([l.starts for l in loads])
+    ends = np.concatenate([l.ends for l in loads])
+    return starts, ends
+
+
 def aggregate_peak(loads: Sequence[ObjectLoad]) -> int:
-    """Peak number of simultaneously live streams across all objects."""
-    events: List[Tuple[float, int]] = []
-    for load in loads:
-        for s in load.intervals:
-            events.append((s.start, 1))
-            events.append((s.end, -1))
-    events.sort(key=lambda e: (e[0], e[1]))  # ends before starts at ties
-    level = peak = 0
-    for _, delta in events:
-        level += delta
-        peak = max(peak, level)
-    return peak
+    """Peak number of simultaneously live streams across all objects.
+
+    Vectorised over the stacked interval arrays via
+    :func:`~repro.simulation.channels.peak_concurrency`; half-open
+    intervals, so a stream ending exactly when another starts never
+    double-counts (the old event sweep sorted ends before starts at
+    ties — ``searchsorted(..., side="right")`` encodes the same rule).
+    """
+    starts, ends = _stacked_intervals(loads)
+    return peak_concurrency(starts, ends)
 
 
 def aggregate_profile(
     loads: Sequence[ObjectLoad], t0: float, t1: float, resolution: float
 ) -> np.ndarray:
-    """Concurrent-stream counts sampled on [t0, t1) at ``resolution``."""
+    """Per-bin concurrent-stream counts on [t0, t1) at ``resolution``.
+
+    Bin-occupancy semantics: bin ``b`` covers ``[t0 + b*r, t0 + (b+1)*r)``
+    and counts every stream that is live during *any part* of it —
+    ``floor`` for the low edge, ``ceil`` for the high edge.  This
+    over-approximates instantaneous concurrency (a stream touching a bin
+    is charged for the whole bin), so whenever ``[t0, t1)`` covers the
+    intervals, ``aggregate_profile(...).max() >= aggregate_peak(...)``;
+    with ``ceil`` on both edges sub-resolution streams vanished entirely
+    and the profile *under*-reported the true peak.
+
+    Implemented as one ``np.add.at`` difference array over the stacked
+    interval arrays — no per-stream Python objects.
+    """
     if t1 <= t0 or resolution <= 0:
         raise ValueError("need t1 > t0 and positive resolution")
     nbins = int(np.ceil((t1 - t0) / resolution))
     diff = np.zeros(nbins + 1, dtype=np.int64)
-    for load in loads:
-        for s in load.intervals:
-            lo = int(np.ceil((max(s.start, t0) - t0) / resolution))
-            hi = int(np.ceil((min(s.end, t1) - t0) / resolution))
-            if hi > lo:
-                diff[lo] += 1
-                diff[hi] -= 1
+    starts, ends = _stacked_intervals(loads)
+    lo_t = np.maximum(starts, t0)
+    hi_t = np.minimum(ends, t1)
+    visible = hi_t > lo_t
+    lo = np.floor((lo_t[visible] - t0) / resolution).astype(np.int64)
+    hi = np.ceil((hi_t[visible] - t0) / resolution).astype(np.int64)
+    np.add.at(diff, lo, 1)
+    np.add.at(diff, hi, -1)
     return np.cumsum(diff[:-1])
 
 

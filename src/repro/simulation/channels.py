@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -28,6 +28,7 @@ __all__ = [
     "StreamInterval",
     "ChannelAssignment",
     "assign_channels",
+    "assign_channels_flat",
     "forest_intervals",
     "flat_forest_intervals",
     "peak_concurrency",
@@ -58,25 +59,48 @@ class StreamInterval:
 
 @dataclass
 class ChannelAssignment:
-    """Streams mapped to numbered channels."""
+    """Streams mapped to numbered channels.
+
+    Treated as immutable once built (the constructors in this module
+    finish all appends before handing the object out); ``channel_of``
+    relies on that to index labels once instead of rescanning every
+    channel per query.
+    """
 
     channels: List[List[StreamInterval]] = field(default_factory=list)
+    #: lazy label -> channel index, built on first ``channel_of`` call
+    _label_index: Optional[Dict[float, int]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def num_channels(self) -> int:
         return len(self.channels)
 
     def channel_of(self, label: float) -> int:
-        for idx, ch in enumerate(self.channels):
-            if any(s.label == label for s in ch):
-                return idx
-        raise KeyError(f"stream {label} not assigned")
+        if self._label_index is None:
+            self._label_index = {
+                s.label: idx for idx, ch in enumerate(self.channels) for s in ch
+            }
+        try:
+            return self._label_index[label]
+        except KeyError:
+            raise KeyError(f"stream {label} not assigned") from None
 
     def utilisation(self, horizon: float) -> float:
-        """Busy fraction across all channels over [0, horizon)."""
+        """Busy fraction across all channels over [0, horizon).
+
+        Streams routinely outlive the horizon (they run to the media
+        end), so each interval is clipped to ``[0, horizon)`` before
+        summing — the fraction is always in ``[0, 1]``.
+        """
         if horizon <= 0 or not self.channels:
             return 0.0
-        busy = sum(s.units for ch in self.channels for s in ch)
+        busy = sum(
+            max(0.0, min(s.end, horizon) - max(s.start, 0.0))
+            for ch in self.channels
+            for s in ch
+        )
         return busy / (self.num_channels * horizon)
 
     def validate(self) -> None:
@@ -104,22 +128,98 @@ def assign_channels(intervals: Sequence[StreamInterval]) -> ChannelAssignment:
     """Greedy first-free assignment; optimal for intervals.
 
     Sort by start time and reuse the channel that freed up earliest
-    (min-heap of (free_time, channel)); the channel count equals the peak
-    number of concurrently live streams.  O(n log n).
+    (min-heap keyed on free time); the channel count equals the peak
+    number of concurrently live streams.  Free-time ties are broken FIFO
+    — the channel that was *released* first is reused first (heap entries
+    carry a release sequence number), which rotates evenly through a
+    transmitter pool and gives the greedy a deterministic pop order that
+    :func:`assign_channels_flat` reproduces with pure array ops.
+    O(n log n).
     """
     assignment = ChannelAssignment()
     if not intervals:
         return assignment
-    free_heap: List[Tuple[float, int]] = []  # (becomes free at, channel idx)
-    for stream in sorted(intervals, key=lambda s: (s.start, s.end)):
+    # (becomes free at, release sequence, channel idx)
+    free_heap: List[Tuple[float, int, int]] = []
+    for seq, stream in enumerate(sorted(intervals, key=lambda s: (s.start, s.end))):
         if free_heap and free_heap[0][0] <= stream.start:
-            _t, idx = heapq.heappop(free_heap)
+            _t, _seq, idx = heapq.heappop(free_heap)
         else:
             idx = len(assignment.channels)
             assignment.channels.append([])
         assignment.channels[idx].append(stream)
-        heapq.heappush(free_heap, (stream.end, idx))
+        heapq.heappush(free_heap, (stream.end, seq, idx))
     return assignment
+
+
+def assign_channels_flat(
+    starts: Union[np.ndarray, Sequence[float]],
+    ends: Union[np.ndarray, Sequence[float]],
+) -> np.ndarray:
+    """Per-stream channel indices, equal to the greedy heap stream for stream.
+
+    The array analogue of :func:`assign_channels` (which stays as the
+    oracle): given half-open occupancy intervals ``[starts[i], ends[i])``
+    it returns ``ch`` with ``ch[i]`` the exact channel index the heap
+    greedy assigns to stream ``i``.  ``ch.max() + 1`` equals
+    :func:`peak_concurrency` of the intervals.
+
+    Why it is the same assignment.  In start order (ties by end, then
+    input order — the oracle's sort is stable), stream ``k`` reuses a
+    channel iff one has been freed (``#{ends <= start_k}`` exceeds the
+    reuses so far), which happens exactly when the running live count
+    does *not* reach a new maximum — so the new-channel decisions are a
+    running-max computation.  Freed channels are popped in globally
+    sorted ``(end, release sequence)`` order: a release with a smaller
+    key is available no later than any larger one, and the oracle's heap
+    breaks free-time ties FIFO, so the pop sequence is precisely the
+    stable end-sort of the streams.  The j-th reusing stream therefore
+    inherits the channel of the j-th stream in stable end order, and the
+    inheritance chains (a reused channel is itself whatever its releaser
+    inherited) resolve by pointer doubling — every predecessor starts
+    strictly earlier, so O(log n) vectorised passes reach the chain
+    roots, the channel-opening streams.  O(n log n), no Python loop.
+    """
+    s = np.ascontiguousarray(starts, dtype=np.float64)
+    e = np.ascontiguousarray(ends, dtype=np.float64)
+    if s.ndim != 1 or e.ndim != 1 or s.size != e.size:
+        raise ValueError("starts and ends must be 1-D arrays of equal length")
+    n = s.size
+    if n == 0:
+        return np.empty(0, dtype=np.intp)
+    if not (np.isfinite(s).all() and np.isfinite(e).all()):
+        raise ValueError("stream intervals must be finite")
+    if np.any(e <= s):
+        raise ValueError("empty or reversed stream interval")
+
+    order = np.lexsort((e, s))  # stable (start, end) sort, like the oracle
+    ss, ee = s[order], e[order]
+    # Freed channels before each start: all n ends may count — a stream
+    # with end <= ss[k] necessarily started (strictly) earlier.
+    avail = np.searchsorted(np.sort(e), ss, side="right")
+    live = np.arange(1, n + 1) - avail
+    running = np.maximum.accumulate(live)
+    prev_max = np.concatenate(([0], running[:-1]))
+    new_mask = live > prev_max  # stream opens channel #(live-1)
+    new_ids = np.cumsum(new_mask) - 1  # valid at new-channel positions
+    rel_order = np.argsort(ee, kind="stable")  # heap pop order (FIFO ties)
+    jrank = np.cumsum(~new_mask) - 1  # valid at reusing positions
+
+    # pred[k]: the stream whose channel k inherits (itself when it opens
+    # a new channel); chase chains to their roots by pointer doubling.
+    pred = np.arange(n)
+    reusing = ~new_mask
+    pred[reusing] = rel_order[jrank[reusing]]
+    while True:
+        nxt = pred[pred]
+        if np.array_equal(nxt, pred):
+            break
+        pred = nxt
+    ch_sorted = new_ids[pred]
+
+    ch = np.empty(n, dtype=np.intp)
+    ch[order] = ch_sorted
+    return ch
 
 
 def forest_intervals(
@@ -168,8 +268,9 @@ def min_forest_channels(forest: Union[MergeForest, FlatForest], L: float) -> int
     """Minimum channel count for a forest, without building a schedule.
 
     Agrees with ``assign_forest_channels(...).num_channels`` (greedy
-    first-fit is optimal for intervals) but runs vectorised — the fast
-    path for provisioning sweeps over large forests.
+    first-fit is optimal for intervals, and :func:`assign_channels_flat`
+    opens exactly ``peak_concurrency`` channels) but never materialises a
+    schedule — the fast path for provisioning sweeps over large forests.
     """
     _labels, starts, ends = flat_forest_intervals(forest, L)
     return peak_concurrency(starts, ends)
@@ -178,7 +279,22 @@ def min_forest_channels(forest: Union[MergeForest, FlatForest], L: float) -> int
 def assign_forest_channels(
     forest: Union[MergeForest, FlatForest], L: float
 ) -> ChannelAssignment:
-    """Channel plan for a merge forest; count == peak concurrency."""
-    assignment = assign_channels(forest_intervals(forest, L))
+    """Channel plan for a merge forest; count == peak concurrency.
+
+    The schedule itself comes from the vectorised
+    :func:`assign_channels_flat`; only the rendered per-channel
+    ``StreamInterval`` lists are materialised as objects, in the same
+    order the heap greedy appends them.
+    """
+    labels, starts, ends = flat_forest_intervals(forest, L)
+    ch = assign_channels_flat(starts, ends)
+    n_channels = int(ch.max()) + 1 if ch.size else 0
+    assignment = ChannelAssignment(channels=[[] for _ in range(n_channels)])
+    order = np.lexsort((ends, starts))
+    lab, st, en = labels.tolist(), starts.tolist(), ends.tolist()
+    for i in order.tolist():
+        assignment.channels[int(ch[i])].append(
+            StreamInterval(label=_as_int_if_exact(lab[i]), start=st[i], end=en[i])
+        )
     assignment.validate()
     return assignment

@@ -25,7 +25,7 @@ Policies implemented (the paper's Section 4.2 cast plus baselines):
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, TYPE_CHECKING
+from typing import List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from ..baselines.dyadic import DyadicOnline, DyadicParams
 from ..core.full_cost import build_optimal_forest
@@ -166,35 +166,46 @@ class GeneralOfflinePolicy(Policy):
 
     Unlike :class:`OfflineOptimalPolicy` (the delay-guaranteed every-slot
     model), this replays the general-arrivals optimal forest of [6]
-    (``repro.core.general``, O(n^3)) over only the slots that contain
-    clients — the fair clairvoyant comparator for batched dyadic on
-    sparse workloads.  Keep the number of non-empty slots moderate
-    (hundreds) or precompute off-line.
+    (``repro.fastpath.general``, Knuth-windowed O(n^2)) over only the
+    slots that contain clients — the fair clairvoyant comparator for
+    batched dyadic on sparse workloads, usable at thousands of non-empty
+    slots.
     """
 
     uses_slots = True
 
     def __init__(self, L: int, served_slot_ends: Sequence[float]):
-        """``served_slot_ends``: the slot-end times (slot units) that will
-        contain at least one client, known in advance (it is an off-line
-        policy).  Use ``trace.slot_end_times(slot)`` to compute them."""
-        from ..core.general import optimal_forest_general
+        """``served_slot_ends``: the slot-end times *in slot units* that
+        will contain at least one client, known in advance (it is an
+        off-line policy).  ``trace.slot_end_times(slot)`` returns absolute
+        times, so divide by the slot — ``[t / slot for t in
+        trace.slot_end_times(slot)]`` — which is the identity for the
+        default ``slot = 1.0``."""
+        from ..fastpath.general import optimal_flat_forest_general
 
         self.name = "general-offline"
         self.L = L
         ends = list(served_slot_ends)
         if not ends:
             raise ValueError("need at least one served slot")
-        self.forest = optimal_forest_general(ends, L)
-        self._lengths = self.forest.stream_lengths(L)
+        # The O(n^2) fastpath solution, consumed straight off the flat
+        # parent arrays — no MergeNode graph is ever built.
+        self.forest = optimal_flat_forest_general(ends, L)
+        arrivals = self.forest.arrivals.tolist()
+        parent = self.forest.parent
+        self._lengths = self.forest.stream_length_map(L)
         self._parent = {}
         self._path = {}
-        for tree in self.forest:
-            self._parent.update(tree.parent_map())
-            for arrival in tree.arrivals():
-                self._path[arrival] = tuple(
-                    node.arrival for node in tree.node(arrival).path_from_root()
-                )
+        paths: List[Tuple[float, ...]] = [()] * len(arrivals)
+        for i, a in enumerate(arrivals):
+            p = int(parent[i])
+            if p < 0:
+                self._parent[a] = None
+                paths[i] = (a,)
+            else:
+                self._parent[a] = arrivals[p]
+                paths[i] = paths[p] + (a,)  # parents precede children
+            self._path[a] = paths[i]
 
     def on_slot_end(
         self, slot_index: int, clients: List["Client"], sim: "Simulation"

@@ -195,3 +195,27 @@ class TestOnlineStack:
     def test_bad_L(self):
         with pytest.raises(ValueError):
             DyadicOnline(0)
+
+
+class TestNonFiniteRejection:
+    """Regression: NaN passed the pairwise strictly-increasing checks (every
+    comparison against NaN is False) and walked into the window math."""
+
+    def test_forest_rejects_nan_and_inf(self):
+        for bad in (float("nan"), float("inf")):
+            with pytest.raises(ValueError, match="finite"):
+                dyadic_forest([0.0, bad, 2.0], 100)
+
+    def test_tree_rejects_nan(self):
+        with pytest.raises(ValueError, match="finite"):
+            dyadic_tree([0.0, float("nan")], 100)
+
+    def test_online_push_rejects_nan(self):
+        online = DyadicOnline(100)
+        online.push(0.0)
+        with pytest.raises(ValueError, match="finite"):
+            online.push(float("nan"))
+        with pytest.raises(ValueError, match="finite"):
+            online.push(float("inf"))
+        # the poisoned pushes must not have advanced the clock
+        assert online.push(1.0).parent is not None

@@ -70,6 +70,32 @@ def increasing_times(
     return [t / 1000.0 for t in sorted(ticks)]
 
 
+@st.composite
+def increasing_times_exact(
+    draw, min_size: int = 1, max_size: int = 40, horizon: float = 200.0
+) -> List[float]:
+    """Strictly increasing times on a dyadic 1/1024 grid — float-exact.
+
+    Every value (and every sum/difference the merge-cost DPs form from
+    them at these magnitudes) is exactly representable in binary64, so
+    reference and fastpath arithmetic are both exact and bit-identical
+    results can be asserted outright.  Use :func:`increasing_times` (the
+    1e-3 grid) when testing tolerance-level agreement on timelines whose
+    decimals do not have finite binary expansions.
+    """
+    n = draw(st.integers(min_value=min_size, max_value=max_size))
+    grid = int(horizon * 1024) - 1
+    ticks = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=grid),
+            min_size=n,
+            max_size=n,
+            unique=True,
+        )
+    )
+    return [t / 1024.0 for t in sorted(ticks)]
+
+
 # ---------------------------------------------------------------------------
 # plain fixtures
 # ---------------------------------------------------------------------------

@@ -8,21 +8,31 @@ from hypothesis import given, settings
 from repro.core import dp, offline
 from repro.fastpath.general import general_arrivals_cost
 
-from tests.conftest import increasing_times
+from tests.conftest import increasing_times, increasing_times_exact
 
 
 class TestAgainstCubicOracle:
     @settings(max_examples=150, deadline=None)
-    @given(increasing_times(min_size=1, max_size=40))
+    @given(increasing_times_exact(min_size=1, max_size=40))
     def test_exact_equality_random_times(self, times):
-        # Bit-for-bit, not approximately: the fast path evaluates the
-        # same float expressions in the same order.
+        # Bit-for-bit, not approximately: the fast path evaluates the same
+        # float expressions in the same order, and on a dyadic grid all of
+        # that arithmetic is exact (see the exactness contract in
+        # repro.fastpath.general — on non-representable decimals an
+        # exact-rational tie may round differently per split candidate).
         assert general_arrivals_cost(times) == dp.general_arrivals_cost_reference(times)
 
-    @given(increasing_times(min_size=1, max_size=30, horizon=5.0))
+    @given(increasing_times_exact(min_size=1, max_size=30, horizon=5.0))
     @settings(max_examples=80, deadline=None)
     def test_exact_equality_dense_times(self, times):
         assert general_arrivals_cost(times) == dp.general_arrivals_cost_reference(times)
+
+    @given(increasing_times(min_size=1, max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_decimal_grid_agrees_within_ulps(self, times):
+        assert general_arrivals_cost(times) == pytest.approx(
+            dp.general_arrivals_cost_reference(times), rel=1e-9, abs=1e-9
+        )
 
     @pytest.mark.parametrize("n", [1, 2, 3, 5, 8, 13, 21, 34, 55])
     def test_consecutive_integers_match_closed_form(self, n):

@@ -1,0 +1,190 @@
+"""Fast general-arrivals forests vs. the O(n^3) reference oracle.
+
+The contract (see :mod:`repro.fastpath.general`): on exactly-representable
+arrival times — integers, dyadic grids, i.e. everything the slotted
+simulation and provisioning paths actually feed in — the fastpath forest
+is **bit-identical** to :func:`optimal_forest_general_reference`: same
+parent structure node for node, same tree boundaries, same full cost
+under the same evaluator.  On non-representable grids (1e-3 decimals)
+agreement is mathematical, bounded here at 1e-9 relative.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.general import (
+    optimal_forest_general,
+    optimal_forest_general_reference,
+    optimal_full_cost_general,
+    optimal_merge_tree_general,
+)
+from repro.fastpath.flat_forest import FlatForest
+from repro.fastpath.general import (
+    general_arrivals_cost,
+    general_merge_tables,
+    optimal_flat_forest_general,
+    optimal_flat_tree_general,
+)
+
+from tests.conftest import increasing_times, increasing_times_exact
+
+
+def feasible_L(times, extra: int) -> int:
+    """A stream length that makes the trace feasible (gaps <= L - 1)."""
+    max_gap = max(
+        (b - a for a, b in zip(times, times[1:])), default=0.0
+    )
+    return int(math.ceil(max_gap)) + 1 + extra
+
+
+class TestBitIdenticalOnExactGrids:
+    @settings(max_examples=100, deadline=None)
+    @given(increasing_times_exact(min_size=1, max_size=28), st.integers(0, 40))
+    def test_forest_node_for_node(self, times, extra):
+        L = feasible_L(times, extra)
+        ref = optimal_forest_general_reference(times, L)
+        fast = optimal_flat_forest_general(times, L)
+        assert fast.equals(FlatForest.from_forest(ref))
+        # Same boundaries and, evaluated identically, the same full cost.
+        assert fast.to_forest().full_cost(L) == ref.full_cost(L)
+        assert [t.root.arrival for t in fast.to_forest()] == [
+            t.root.arrival for t in ref
+        ]
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=400),
+            min_size=1,
+            max_size=30,
+            unique=True,
+        ),
+        st.integers(0, 30),
+    )
+    def test_forest_integer_traces(self, ticks, extra):
+        times = sorted(ticks)
+        L = feasible_L(times, extra)
+        ref = optimal_forest_general_reference(times, L)
+        fast = optimal_forest_general(times, L)
+        assert [t.canonical() for t in fast] == [t.canonical() for t in ref]
+        assert fast.full_cost(L) == ref.full_cost(L)
+
+    @settings(max_examples=60, deadline=None)
+    @given(increasing_times_exact(min_size=1, max_size=26))
+    def test_single_tree_matches_reference_reconstruction(self, times):
+        from repro.core.general import _merge_tables, _reconstruct
+        from repro.core.merge_tree import MergeTree
+
+        _cost, split = _merge_tables(times)
+        ref_tree = MergeTree(_reconstruct(times, split, 0, len(times) - 1))
+        tree = optimal_merge_tree_general(times)
+        assert tree.canonical() == ref_tree.canonical()
+        assert tree.merge_cost() == general_arrivals_cost(times)
+        assert tree.has_preorder_property()
+
+    def test_merge_tables_match_reference_scan(self):
+        # Direct table-level check on a tie-heavy integer trace.
+        from repro.core.general import _merge_tables
+
+        ts = [0.0, 1.0, 2.0, 4.0, 5.0, 6.0, 8.0, 12.0, 13.0]
+        cost_ref, split_ref = _merge_tables(ts)
+        cost_fast, split_fast = general_merge_tables(ts)
+        assert cost_fast == cost_ref
+        assert split_fast == split_ref
+
+
+class TestToleranceOnDecimalGrids:
+    @settings(max_examples=60, deadline=None)
+    @given(increasing_times(min_size=1, max_size=24), st.integers(0, 40))
+    def test_cost_and_boundaries_agree(self, times, extra):
+        # 1e-3 decimals are not binary-exact: an exact-rational tie between
+        # two splits can round differently per candidate, so assert
+        # mathematical (1e-9 relative) rather than bitwise agreement.
+        L = feasible_L(times, extra)
+        ref = optimal_forest_general_reference(times, L)
+        fast = optimal_flat_forest_general(times, L)
+        fast.validate_for_length(L)
+        assert fast.to_forest().full_cost(L) == pytest.approx(
+            ref.full_cost(L), rel=1e-9, abs=1e-9
+        )
+        assert sorted(np.asarray(fast.arrivals).tolist()) == sorted(times)
+
+    @settings(max_examples=60, deadline=None)
+    @given(increasing_times(min_size=1, max_size=24))
+    def test_cost_only_agrees(self, times):
+        from repro.core import dp
+
+        assert general_arrivals_cost(times) == pytest.approx(
+            dp.general_arrivals_cost_reference(times), rel=1e-9, abs=1e-9
+        )
+
+
+class TestRewiredCoreEntryPoints:
+    def test_forest_general_is_the_fast_path(self):
+        ts = [0, 1, 3, 7, 8, 9, 15]
+        L = 12
+        obj = optimal_forest_general(ts, L)
+        flat = optimal_flat_forest_general(ts, L)
+        assert FlatForest.from_forest(obj).equals(flat)
+        assert optimal_full_cost_general(ts, L) == obj.full_cost(L)
+
+    def test_reference_kept_and_equal_here(self):
+        ts = [0, 2, 5, 11, 12, 20, 21]
+        L = 25
+        ref = optimal_forest_general_reference(ts, L)
+        assert optimal_forest_general(ts, L).full_cost(L) == ref.full_cost(L)
+
+    def test_wide_gaps_force_separate_roots(self):
+        # A gap wider than L - 1 can never merge across; both paths split
+        # the trace identically (infeasibility proper cannot arise: any
+        # arrival may always root its own tree).
+        ts = [0.0, 100.0]
+        fast = optimal_forest_general(ts, 5)
+        ref = optimal_forest_general_reference(ts, 5)
+        assert fast.roots() == ref.roots() == [0.0, 100.0]
+
+    def test_bad_inputs(self):
+        with pytest.raises(ValueError):
+            optimal_flat_forest_general([], 10)
+        with pytest.raises(ValueError):
+            optimal_flat_forest_general([0.0, 0.0], 10)
+        with pytest.raises(ValueError):
+            optimal_flat_forest_general([0.0], 0)
+        with pytest.raises(ValueError):
+            optimal_flat_tree_general([])
+
+
+class TestNonFiniteRejection:
+    """Regression: NaN passed every strictly-increasing check (all pairwise
+    comparisons against NaN are False) and corrupted the DPs silently."""
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_fastpath_cost_rejects(self, bad):
+        with pytest.raises(ValueError, match="finite"):
+            general_arrivals_cost([0.0, bad, 2.0])
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_fastpath_forest_rejects(self, bad):
+        with pytest.raises(ValueError, match="finite"):
+            optimal_flat_forest_general([0.0, 1.0, bad], 10)
+
+    def test_core_general_rejects(self):
+        nan = float("nan")
+        with pytest.raises(ValueError, match="finite"):
+            optimal_forest_general([nan], 10)
+        with pytest.raises(ValueError, match="finite"):
+            optimal_forest_general_reference([0.0, nan], 10)
+        with pytest.raises(ValueError, match="finite"):
+            optimal_merge_tree_general([0.0, nan, 2.0])
+
+    def test_all_nan_sequence_rejected(self):
+        # all-NaN even *looks* sorted to pairwise comparisons
+        nan = float("nan")
+        with pytest.raises(ValueError, match="finite"):
+            general_arrivals_cost([nan, nan, nan])

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.arrivals import ArrivalTrace, poisson
 from repro.multiplex import (
@@ -18,6 +20,44 @@ from repro.multiplex import (
     serve_catalog,
     split_requests,
 )
+from repro.multiplex.server import ObjectLoad
+
+
+def make_load(triples, name="synthetic", L=10, delay=1.0):
+    """An ObjectLoad straight from (label, start, end) triples."""
+    labels = np.array([t[0] for t in triples], dtype=np.float64)
+    starts = np.array([t[1] for t in triples], dtype=np.float64)
+    ends = np.array([t[2] for t in triples], dtype=np.float64)
+    return ObjectLoad(
+        name=name,
+        L=L,
+        delay_minutes=delay,
+        total_units_minutes=float(np.sum(ends - starts)),
+        labels=labels,
+        starts=starts,
+        ends=ends,
+    )
+
+
+def sweep_peak(loads):
+    """The pre-vectorisation event-sweep aggregate peak (oracle).
+
+    Keep in sync with ``reference_aggregate_peak`` in
+    ``benchmarks/bench_general.py`` (same frozen sweep; benchmarks are
+    not importable from here without path games, so the 12 lines are
+    duplicated deliberately).
+    """
+    events = []
+    for load in loads:
+        for s in load.intervals:
+            events.append((s.start, 1))
+            events.append((s.end, -1))
+    events.sort(key=lambda e: (e[0], e[1]))  # ends before starts at ties
+    level = peak = 0
+    for _, delta in events:
+        level += delta
+        peak = max(peak, level)
+    return peak
 
 
 @pytest.fixture(scope="module")
@@ -97,6 +137,58 @@ class TestAggregation:
     def test_profile_validation(self):
         with pytest.raises(ValueError):
             aggregate_profile([], 10.0, 5.0, 1.0)
+
+    def test_aggregate_peak_matches_event_sweep(self, catalog):
+        wl = catalog_workload(catalog, 2.0, 480.0, seed=11)
+        report = serve_catalog(catalog, 15.0, 480.0, policy="dyadic", workload=wl)
+        assert aggregate_peak(report.loads) == sweep_peak(report.loads)
+
+    def test_aggregate_peak_empty(self):
+        assert aggregate_peak([]) == 0
+
+    def test_short_stream_counts_in_profile(self):
+        # Regression: ceil on both bin edges made any stream shorter than
+        # the resolution vanish from the profile entirely.
+        load = make_load([(0.5, 0.2, 0.8)])
+        prof = aggregate_profile([load], 0.0, 1.0, resolution=1.0)
+        assert prof.tolist() == [1]
+        assert prof.max() >= aggregate_peak([load])
+
+    def test_profile_over_approximates_peak(self):
+        # Bin-occupancy semantics: a stream touching a bin counts for the
+        # whole bin, so the profile can exceed — never undercut — the peak.
+        load = make_load([(1, 0.0, 1.5), (2, 1.6, 3.0)])  # never concurrent
+        prof = aggregate_profile([load], 0.0, 3.0, resolution=1.0)
+        assert aggregate_peak([load]) == 1
+        assert prof.max() == 2  # both touch bin [1, 2)
+        assert prof.max() >= aggregate_peak([load])
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=200),
+                st.integers(min_value=1, max_value=80),
+            ),
+            min_size=1,
+            max_size=30,
+        ),
+        st.floats(min_value=0.1, max_value=7.0, allow_nan=False),
+    )
+    def test_profile_max_dominates_peak_randomized(self, raw, resolution):
+        load = make_load(
+            [(i, s / 3.0, (s + d) / 3.0) for i, (s, d) in enumerate(raw)]
+        )
+        t1 = float(load.ends.max()) + resolution
+        prof = aggregate_profile([load], 0.0, t1, resolution=resolution)
+        assert prof.max() >= aggregate_peak([load])
+        assert aggregate_peak([load]) == sweep_peak([load])
+
+    def test_profile_max_dominates_peak_catalog(self, catalog):
+        report = serve_catalog(catalog, 13.0, 480.0, policy="dg")
+        t1 = max(float(l.ends.max()) for l in report.loads) + 1.0
+        prof = aggregate_profile(report.loads, 0.0, t1, resolution=7.3)
+        assert prof.max() >= report.peak_channels
 
 
 class TestServeCatalog:

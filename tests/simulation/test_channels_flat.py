@@ -1,0 +1,139 @@
+"""``assign_channels_flat`` vs. the greedy heap oracle, plus the
+``ChannelAssignment`` bugfixes (horizon-clipped utilisation, indexed
+``channel_of``)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.full_cost import build_optimal_forest
+from repro.core.online import build_online_flat_forest
+from repro.simulation.channels import (
+    StreamInterval,
+    assign_channels,
+    assign_channels_flat,
+    assign_forest_channels,
+    flat_forest_intervals,
+    forest_intervals,
+    min_forest_channels,
+    peak_concurrency,
+)
+
+
+def iv(label, start, end):
+    return StreamInterval(label=label, start=start, end=end)
+
+
+#: integer endpoints — duplicate start/end times everywhere (the heap's
+#: tie-break order is exercised hard)
+tied_intervals = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=25),
+        st.integers(min_value=1, max_value=12),
+    ),
+    min_size=0,
+    max_size=40,
+)
+
+#: float endpoints — realistically tie-free
+loose_intervals = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=30.0, allow_nan=False),
+        st.floats(min_value=0.01, max_value=12.0, allow_nan=False),
+    ),
+    min_size=0,
+    max_size=40,
+)
+
+
+class TestAgainstHeapOracle:
+    @settings(max_examples=120, deadline=None)
+    @given(tied_intervals)
+    def test_channel_for_channel_with_ties(self, raw):
+        self._assert_matches(raw)
+
+    @settings(max_examples=120, deadline=None)
+    @given(loose_intervals)
+    def test_channel_for_channel_float_times(self, raw):
+        self._assert_matches(raw)
+
+    @staticmethod
+    def _assert_matches(raw):
+        starts = np.array([s for s, _ in raw], dtype=np.float64)
+        ends = np.array([s + d for s, d in raw], dtype=np.float64)
+        ch = assign_channels_flat(starts, ends)
+        oracle = assign_channels(
+            [iv(i, s, e) for i, (s, e) in enumerate(zip(starts, ends))]
+        )
+        oracle.validate()
+        assert ch.shape == starts.shape
+        for i in range(len(raw)):
+            assert int(ch[i]) == oracle.channel_of(i)
+        if len(raw):
+            assert int(ch.max()) + 1 == oracle.num_channels
+            assert oracle.num_channels == peak_concurrency(starts, ends)
+
+    def test_empty(self):
+        assert assign_channels_flat([], []).size == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            assign_channels_flat([0.0], [0.0])  # empty interval
+        with pytest.raises(ValueError):
+            assign_channels_flat([0.0, 1.0], [2.0])  # length mismatch
+        with pytest.raises(ValueError):
+            assign_channels_flat([0.0], [float("nan")])
+
+
+class TestForestRoundTrip:
+    @pytest.mark.parametrize("L,n", [(15, 8), (15, 57), (10, 100)])
+    def test_schedule_identical_to_heap_path(self, L, n):
+        forest = build_optimal_forest(L, n)
+        via_heap = assign_channels(forest_intervals(forest, L))
+        via_flat = assign_forest_channels(forest, L)
+        assert via_flat.channels == via_heap.channels
+
+    def test_flat_round_trip_through_channel_of(self):
+        # The per-stream index array and the rendered assignment agree via
+        # the label -> channel dict.
+        L, n = 500, 5000
+        flat = build_online_flat_forest(L, n)
+        labels, starts, ends = flat_forest_intervals(flat, L)
+        ch = assign_channels_flat(starts, ends)
+        assignment = assign_forest_channels(flat, L)
+        for label, c in zip(labels.tolist(), ch.tolist()):
+            assert assignment.channel_of(label) == c
+        assert assignment.num_channels == min_forest_channels(flat, L)
+
+
+class TestChannelAssignmentFixes:
+    def test_channel_of_indexed_lookup(self):
+        a = assign_channels([iv(1, 0, 5), iv(2, 5, 9), iv(3, 2, 4)])
+        # stream 3 overlaps 1 -> channel 1; stream 2 reuses the earliest
+        # freed channel, which is 1 (free at 4) rather than 0 (free at 5).
+        for _ in range(2):  # second pass hits the cached dict
+            assert a.channel_of(1) == 0
+            assert a.channel_of(3) == a.channel_of(2) == 1
+        with pytest.raises(KeyError):
+            a.channel_of(99)
+
+    def test_utilisation_clips_to_horizon(self):
+        # Regression: streams outliving the horizon used to push the busy
+        # fraction above 1.0.
+        a = assign_channels([iv(1, 0, 20)])
+        assert a.utilisation(10.0) == 1.0
+        a2 = assign_channels([iv(1, 0, 20), iv(2, 5, 40)])
+        assert a2.utilisation(10.0) == 0.75  # ch0 busy 10/10, ch1 busy 5/10
+
+    def test_utilisation_clips_negative_start(self):
+        a = assign_channels([iv(1, -5.0, 5.0)])
+        assert a.utilisation(10.0) == 0.5
+
+    @settings(max_examples=60, deadline=None)
+    @given(tied_intervals, st.integers(min_value=1, max_value=40))
+    def test_utilisation_never_exceeds_one(self, raw, horizon):
+        a = assign_channels([iv(i, s, s + d) for i, (s, d) in enumerate(raw)])
+        assert 0.0 <= a.utilisation(float(horizon)) <= 1.0
