@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python
 
-.PHONY: test bench bench-general bench-smoke
+.PHONY: test bench bench-general bench-sim bench-smoke
 
 ## tier-1 test suite (must stay green)
 test:
@@ -18,7 +18,12 @@ bench:
 bench-general:
 	$(PY) benchmarks/bench_general.py
 
-## quick pytest-benchmark pass over the fastpath + general-arrivals smoke
-## cases (CI job; every run asserts fast == reference)
+## flat-simulation sweep: regenerates BENCH_sim.json (runs the
+## per-client verification oracle at n=10^5 once; ~2 minutes)
+bench-sim:
+	$(PY) benchmarks/bench_sim.py
+
+## quick pytest-benchmark pass over the fastpath + general-arrivals +
+## flat-simulation smoke cases (CI job; every run asserts fast == reference)
 bench-smoke:
-	$(PY) -m pytest benchmarks/bench_fastpath.py benchmarks/bench_general.py --benchmark-only -q
+	$(PY) -m pytest benchmarks/bench_fastpath.py benchmarks/bench_general.py benchmarks/bench_sim.py --benchmark-only -q

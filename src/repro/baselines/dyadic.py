@@ -20,7 +20,11 @@ Because arrivals are processed in increasing time order and interval
 indices only decrease along time within a window, the algorithm is
 implementable on-line with a stack holding the current rightmost path
 (``DyadicOnline``); the batch recursion (:func:`dyadic_forest`) is the
-specification.  Both produce identical forests (tested).
+specification.  Both produce identical forests (tested).  Both build
+``MergeNode`` objects and serve as the *oracles* for the flat twins in
+:mod:`repro.fastpath.dyadic` (``dyadic_flat_forest`` /
+``DyadicFlatOnline``), which the simulation policies and catalog
+provisioning sweeps actually run on.
 
 Costs are the receive-two costs of the resulting merge forest: roots pay
 ``L``, a non-root ``v`` pays ``l(v) = 2 z(v) - v - p(v)`` (Lemma 1, valid
@@ -204,9 +208,15 @@ def dyadic_forest(
 def dyadic_cost(
     arrivals: Sequence[float], L: float, params: DyadicParams = DyadicParams()
 ) -> float:
-    """Total receive-two bandwidth of the dyadic solution (in slot units)."""
-    forest = dyadic_forest(arrivals, L, params)
-    return forest.full_cost(L)
+    """Total receive-two bandwidth of the dyadic solution (in slot units).
+
+    Evaluated on the flat fast path (vectorised construction + ``Fcost``);
+    the recursive :func:`dyadic_forest` above is the structural oracle it
+    is property-tested against.
+    """
+    from ..fastpath.dyadic import dyadic_flat_forest
+
+    return dyadic_flat_forest(arrivals, L, params).full_cost(L)
 
 
 # ---------------------------------------------------------------------------

@@ -41,6 +41,7 @@ __all__ = [
     "build_optimal_tree",
     "build_optimal_parent_array",
     "fibonacci_tree",
+    "MAX_ENUMERATION_N",
     "enumerate_merge_trees",
     "enumerate_optimal_trees",
     "count_optimal_trees",
@@ -221,15 +222,30 @@ def fibonacci_tree(k: int, start: int = 0) -> MergeTree:
 # ---------------------------------------------------------------------------
 
 
+#: Largest ``n`` the exhaustive enumerators accept.  ``C_12 = 208012``
+#: trees is the last size that enumerates in seconds; one step further
+#: quintuples the work, and nothing downstream needs it — optimal trees
+#: for any ``n`` come from the O(n) Theorem 7 builder / the DPs.
+MAX_ENUMERATION_N: int = 13
+
+
 def enumerate_merge_trees(n: int, start: int = 0) -> Iterator[MergeTree]:
     """Yield every merge tree with the preorder property over ``n`` arrivals.
 
     These are exactly the candidates for optimality ([6] shows every optimal
     tree has the preorder property).  The count is the Catalan number
-    ``C_{n-1}``, so keep ``n`` small (n <= 12 or so).
+    ``C_{n-1}``, so ``n`` is capped at :data:`MAX_ENUMERATION_N`.
     """
     if n < 1:
         raise ValueError(f"n must be >= 1, got {n}")
+    if n > MAX_ENUMERATION_N:
+        raise ValueError(
+            f"enumerate_merge_trees(n={n}) would generate the Catalan "
+            f"number C_{n - 1} > 208012 candidate trees — an exponential "
+            f"blow-up; the cap is n <= {MAX_ENUMERATION_N}.  For larger n "
+            "use build_optimal_tree (Theorem 7, O(n)) or the repro.core.dp "
+            "programs, which cover every optimum without enumeration."
+        )
 
     def gen(offset: int, size: int) -> Iterator[MergeNode]:
         if size == 1:

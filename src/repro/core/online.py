@@ -84,6 +84,11 @@ def build_online_forest(L: int, n: int, tree_size: Optional[int] = None) -> Merg
     final tree is the prefix of the Fibonacci tree on the leftover arrivals.
     ``tree_size`` overrides the static size (used by the tree-size ablation;
     the default ``F_h`` is the paper's choice).
+
+    This is the object-graph *reference*: no production path calls it any
+    more — the simulation tier runs on :func:`build_online_flat_forest`
+    (same structure, parent arrays only), which the fastpath tests check
+    against this builder node for node.
     """
     if L < 1 or n < 1:
         raise ValueError(f"need L >= 1 and n >= 1, got L={L}, n={n}")

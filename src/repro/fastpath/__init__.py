@@ -19,10 +19,22 @@ reference implementations in :mod:`repro.core` — the O(n^2)/O(n^3) DPs in
 * :mod:`repro.fastpath.flat_forest` — :class:`FlatForest`, a flat
   numpy-backed merge-forest representation with vectorised ``Mcost`` /
   ``Fcost`` / stream-length / interval evaluation and lossless round-trip
-  conversion to/from :class:`~repro.core.merge_tree.MergeForest`.
+  conversion to/from :class:`~repro.core.merge_tree.MergeForest`;
+* :mod:`repro.fastpath.dyadic` — the flat (alpha, beta)-dyadic builders
+  (vectorised batch :func:`~repro.fastpath.dyadic.dyadic_flat_forest`,
+  incremental :class:`~repro.fastpath.dyadic.DyadicFlatOnline`), with the
+  recursive / ``MergeNode`` constructions of ``baselines.dyadic`` as
+  oracles;
+* :mod:`repro.fastpath.replay` — batched replay verification of whole
+  merge forests (Section 2 receiving programs, Lemma 1/17 tightness,
+  Lemma 15 buffer peaks) as per-level vectorised interval algebra,
+  report-identical to the per-client walks kept in
+  ``simulation.verify`` as ``verify_forest*_reference``.
 
 Benchmarks comparing old vs. new paths live in
-``benchmarks/bench_fastpath.py`` and emit ``BENCH_fastpath.json``.
+``benchmarks/bench_fastpath.py`` / ``bench_general.py`` / ``bench_sim.py``
+and emit ``BENCH_fastpath.json`` / ``BENCH_general.json`` /
+``BENCH_sim.json``.
 """
 
 from .cost_tables import (
@@ -39,6 +51,8 @@ from .general import (
     optimal_flat_tree_general,
 )
 from .flat_forest import FlatForest
+from .dyadic import DyadicFlatOnline, dyadic_flat_cost, dyadic_flat_forest
+from .replay import replay_verify_forest, replay_verify_forest_continuous
 
 __all__ = [
     "merge_cost",
@@ -51,4 +65,9 @@ __all__ = [
     "optimal_flat_forest_general",
     "optimal_flat_tree_general",
     "FlatForest",
+    "DyadicFlatOnline",
+    "dyadic_flat_cost",
+    "dyadic_flat_forest",
+    "replay_verify_forest",
+    "replay_verify_forest_continuous",
 ]

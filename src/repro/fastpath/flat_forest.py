@@ -52,6 +52,7 @@ class FlatForest:
         self,
         arrivals: Union[np.ndarray, Sequence[float]],
         parent: Union[np.ndarray, Sequence[int]],
+        z: Union[np.ndarray, Sequence[float], None] = None,
     ):
         arr = np.ascontiguousarray(arrivals, dtype=np.float64)
         par = np.ascontiguousarray(parent, dtype=np.intp)
@@ -80,12 +81,24 @@ class FlatForest:
                 "contiguous in arrival order)"
             )
         # z[i] = max arrival in subtree(i): one reverse pass suffices
-        # because every child has a larger index than its parent.
-        z = arr.copy()
-        for i in range(n - 1, 0, -1):
-            p = par[i]
-            if p >= 0 and z[i] > z[p]:
-                z[p] = z[i]
+        # because every child has a larger index than its parent.  Builders
+        # that know the subtree maxima already (e.g. the flat dyadic
+        # construction, where a run's subtree is exactly the run) may pass
+        # ``z`` to skip the pass; the array is trusted as-is.
+        if z is None:
+            zl = arr.tolist()
+            pl = par.tolist()
+            for i in range(n - 1, 0, -1):
+                p = pl[i]
+                if p >= 0:
+                    zi = zl[i]
+                    if zi > zl[p]:
+                        zl[p] = zi
+            z = np.asarray(zl, dtype=np.float64)
+        else:
+            z = np.ascontiguousarray(z, dtype=np.float64)
+            if z.shape != arr.shape:
+                raise ValueError("z must match arrivals in shape")
         self.arrivals = arr
         self.parent = par
         self.z = z
@@ -124,6 +137,22 @@ class FlatForest:
             j = int(self.parent[j])
         path.reverse()
         return path
+
+    def paths(self, labels: Union[Sequence, None] = None) -> List[Tuple]:
+        """Every node's root path as shared tuples, one forward pass.
+
+        Parents precede children in index order, so ``paths[i]`` can
+        reuse ``paths[parent]`` — O(total depth) tuple cells.  ``labels``
+        substitutes what the tuples hold (default: arrival labels);
+        callers pass node indices or type-collapsed labels as needed.
+        """
+        lab = self.arrivals.tolist() if labels is None else list(labels)
+        par = self.parent.tolist()
+        out: List[Tuple] = [()] * len(par)
+        for i, a in enumerate(lab):
+            p = par[i]
+            out[i] = (out[p] + (a,)) if p >= 0 else (a,)
+        return out
 
     def equals(self, other: "FlatForest") -> bool:
         return (

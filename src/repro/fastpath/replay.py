@@ -1,0 +1,331 @@
+"""Batched replay verification — vectorised per-stream interval algebra.
+
+``repro.simulation.verify`` replays the Section 2 receiving programs one
+client and one part at a time: every client materialises O(L)
+``Reception`` objects, and the buffer bookkeeping is quadratic in the
+parts per client.  At 10^5 clients that is tens of millions of Python
+objects for checks whose outcomes are closed-form functions of the
+client's root path.  This module evaluates the same checks wholesale on
+:class:`~repro.fastpath.flat_forest.FlatForest` arrays, walking all
+clients' ancestor chains *level by level* (one numpy pass per tree
+level), so the work is O(sum of path depths) vector operations:
+
+* **completeness / deadlines / fan-in** — the Section 2 stage ranges are
+  contiguous, start at part 1, and every path stream starts no later
+  than the client, so for any valid parent array these checks pass
+  identically to the oracle (the oracle can only fail them on inputs
+  ``FlatForest`` rejects outright); they are accounted, not re-derived.
+* **stream-length sufficiency** (per client and stream) — the last part
+  a client takes from path stream ``u`` with path predecessor ``w`` and
+  parent ``q`` is ``min(2y - u - q, L)`` (receive-two) or
+  ``min(y - q, L)`` (receive-all), demanded at all iff the first part
+  ``2y - w - u + 1`` (resp. ``y - u + 1``) is at most ``L``.
+* **Lemma 1 / Lemma 17 tightness** — per-stream maxima of those demands
+  (``np.maximum.at``) against the analytic lengths.
+* **Lemma 15 buffer peaks** — a client buffers one extra part per slot
+  exactly while it listens to two streams, and two-stream slots form one
+  contiguous run from its arrival, so the replayed high-water mark is
+  ``t2max - y`` with ``t2max`` the last two-delivery slot
+  ``min(2y - u', u' + L)`` over the path pairs ``(u, u')``.
+
+Exactness contract (same shape as ``fastpath.general``): all arithmetic
+is the oracle's integer (or, for the continuous verifier, float)
+expressions evaluated elementwise, so reports are **identical** to the
+per-client oracles ``verify_forest_reference`` /
+``verify_forest_continuous_reference`` — same check counts, same failure
+set (message strings included; ordering within the list may differ) — on
+every forest both accept, including corrupted ones.
+``tests/fastpath/test_replay.py`` asserts that on randomized optimal,
+on-line and dyadic forests with injected violations.  One caveat: node
+labels in failure messages print collapsed-to-int when exact (``4``, not
+``4.0``), matching what the reference sees for any ``FlatForest`` input
+(its ``to_forest`` collapses exact labels); a ``MergeForest`` input that
+stores an exact label as a float would print it uncollapsed in the
+reference only.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+import numpy as np
+
+from ..core.merge_tree import MergeForest, _as_int_if_exact
+from .flat_forest import FlatForest, as_flat_forest
+
+__all__ = ["replay_verify_forest", "replay_verify_forest_continuous"]
+
+
+def _fmt(value: float):
+    """Format a node label the way the object oracle prints it (int when
+    exact, since ``FlatForest.to_forest`` collapses exact labels)."""
+    return _as_int_if_exact(float(value))
+
+
+def _new_report():
+    from ..simulation.verify import VerificationReport
+
+    return VerificationReport()
+
+
+def _finish(report, checks: int, failures: List[str]):
+    report.checks += checks
+    if failures:
+        report.ok = False
+        report.failures.extend(failures)
+    return report
+
+
+def _validated_flat(forest, L, report) -> Optional[FlatForest]:
+    flat = as_flat_forest(forest)
+    try:
+        flat.validate_for_length(L)
+    except ValueError as exc:
+        report.record(False, f"forest infeasible for L={L}: {exc}")
+        return None
+    return flat
+
+
+def replay_verify_forest(
+    forest: Union[MergeForest, FlatForest],
+    L: int,
+    model: str = "receive-two",
+    buffer_bound: Optional[float] = None,
+):
+    """Batched equivalent of the per-client ``verify_forest_reference``."""
+    if model not in ("receive-two", "receive-all"):
+        raise ValueError(f"unknown model {model!r}")
+    report = _new_report()
+    flat = _validated_flat(forest, L, report)
+    if flat is None:
+        return report
+    x = flat.arrivals
+    n = x.size
+    not_integral = x != np.floor(x)
+    if not_integral.any():
+        t = float(x[np.nonzero(not_integral)[0][0]])
+        raise ValueError(
+            "receiving programs are defined on slotted (integer) "
+            f"arrival times; got {t!r} — slot the trace first"
+        )
+    par = flat.parent
+    lengths = flat.stream_lengths(L, model)
+    nonroot = par >= 0
+    checks = 0
+    failures: List[str] = []
+
+    # -- own-stream demand (every client always uses its own stream) --------
+    p_safe = np.where(nonroot, par, 0)
+    own_demand = np.where(nonroot, np.minimum(x - x[p_safe], float(L)), float(L))
+    demanded = own_demand.copy()  # per-stream max part demanded (self first)
+    checks += n  # one streams_used check per client for its own stream
+    bad = np.nonzero(own_demand > lengths)[0]
+    for i in bad.tolist():
+        failures.append(
+            f"client {_fmt(x[i])} needs part {int(own_demand[i])} of stream "
+            f"{_fmt(x[i])}, which only has {float(lengths[i])}"
+        )
+
+    # -- ancestor-level walk -------------------------------------------------
+    # cl: client index; wprev/wcur: its ancestors at the previous/current
+    # level (wcur = the stream being demanded at this level).
+    cl = np.nonzero(nonroot)[0]
+    wprev = cl
+    wcur = par[cl]
+    t2max = np.full(n, -np.inf)  # last two-delivery slot per client
+    used_total = 0
+    while cl.size:
+        y = x[cl]
+        a_prev = x[wprev]
+        a_cur = x[wcur]
+        pcur = par[wcur]
+        cur_is_root = pcur < 0
+        q = x[np.where(cur_is_root, 0, pcur)]
+        if model == "receive-two":
+            used = (2 * y - a_prev - a_cur) < L
+            demand = np.where(
+                cur_is_root, float(L), np.minimum(2 * y - a_cur - q, float(L))
+            )
+            # Buffer stage (wprev, wcur): both streams deliver through
+            # slot min(2y - a_cur, a_cur + L) if that exceeds 2y - a_prev.
+            tu = np.minimum(2 * y - a_cur, a_cur + L)
+            valid = tu > 2 * y - a_prev
+            np.maximum.at(t2max, cl[valid], tu[valid])
+        else:  # receive-all (Lemma 17 programs)
+            used = (y - a_cur) < L
+            demand = np.where(
+                cur_is_root, float(L), np.minimum(y - q, float(L))
+            )
+        used_total += int(np.count_nonzero(used))
+        fail = used & (demand > lengths[wcur])
+        for j in np.nonzero(fail)[0].tolist():
+            failures.append(
+                f"client {_fmt(y[j])} needs part {int(demand[j])} of stream "
+                f"{_fmt(a_cur[j])}, which only has {float(lengths[wcur[j]])}"
+            )
+        np.maximum.at(demanded, wcur[used], demand[used])
+        step = pcur >= 0
+        cl = cl[step]
+        wprev = wcur[step]
+        wcur = pcur[step]
+    checks += used_total
+
+    # -- per-client structural checks ---------------------------------------
+    # Completeness, playback deadlines and (receive-two) fan-in <= 2 hold
+    # for every strictly-increasing root path — the stage part ranges are
+    # contiguous from part 1 and stages occupy disjoint slot ranges — so
+    # on any forest FlatForest accepts they pass, as in the oracle.
+    checks += 3 * n if model == "receive-two" else 2 * n
+
+    if model == "receive-two":
+        # Lemma 15: replayed buffer peak must equal min(y - r, L - (y - r)).
+        peak = np.where(np.isfinite(t2max), t2max - x, 0.0)
+        gap = x - x[flat.root_index]
+        expected = np.minimum(gap, L - gap)
+        checks += n
+        for i in np.nonzero(peak != expected)[0].tolist():
+            failures.append(
+                f"client {_fmt(x[i])}: buffer peak {int(peak[i])} != "
+                f"Lemma 15 value {int(expected[i])}"
+            )
+        if buffer_bound is not None:
+            checks += n
+            for i in np.nonzero(peak > buffer_bound)[0].tolist():
+                failures.append(
+                    f"client {_fmt(x[i])}: buffer peak {int(peak[i])} > "
+                    f"bound {buffer_bound}"
+                )
+
+    # -- tightness: every non-root stream fully consumed --------------------
+    nr = np.nonzero(nonroot)[0]
+    checks += nr.size
+    for i in nr[demanded[nr] != lengths[nr]].tolist():
+        failures.append(
+            f"stream {float(x[i])}: length {float(lengths[i])} but only "
+            f"part {int(demanded[i])} ever read (not tight)"
+        )
+    return _finish(report, checks, failures)
+
+
+def replay_verify_forest_continuous(
+    forest: Union[MergeForest, FlatForest], L: float
+):
+    """Batched equivalent of ``verify_forest_continuous_reference``."""
+    report = _new_report()
+    flat = _validated_flat(forest, L, report)
+    if flat is None:
+        return report
+    x = flat.arrivals
+    n = x.size
+    par = flat.parent
+    lengths = flat.stream_lengths(L)
+    eps = 1e-9
+    checks = 0
+    failures: List[str] = []
+    demanded = np.zeros(n)
+
+    def _demand_checks(streams, b, clients, typed_b):
+        # ``typed_b(j)`` re-evaluates the failing piece's end with the
+        # oracle's scalar arithmetic: the reference works on Python
+        # int-when-exact labels, so its ``min(2y - u - lo, L)`` stays an
+        # int on integer forests and its messages print ``10``, not
+        # ``10.0``.  Only failing pieces pay the re-evaluation.
+        nonlocal checks
+        checks += streams.size
+        fail = b > lengths[streams] + eps
+        for j in np.nonzero(fail)[0].tolist():
+            failures.append(
+                f"client {_fmt(x[clients[j]])} needs position {typed_b(j)} "
+                f"of stream {_fmt(x[streams[j]])} "
+                f"(length {float(lengths[streams[j]])})"
+            )
+        np.maximum.at(demanded, streams, b)
+
+    # Stage pieces, level by level: at level s the pair is
+    # (u, lo) = (w_{s-1}, w_s) and contributes the stage's piece from u
+    # (positions (2(y-u), 2y-u-lo]) and from lo ((2y-u-lo, 2(y-lo)]).
+    cl = np.nonzero(par >= 0)[0]
+    wprev = cl
+    wcur = par[cl]
+    while cl.size:
+        y = x[cl]
+        u = x[wprev]
+        lo = x[wcur]
+        a1 = 2 * (y - u)
+        b1 = 2 * y - u - lo
+        keep = np.minimum(b1, L) > a1
+        yk, uk, lok = y[keep], u[keep], lo[keep]
+        _demand_checks(
+            wprev[keep],
+            np.minimum(b1, L)[keep],
+            cl[keep],
+            lambda j: min(2 * _fmt(yk[j]) - _fmt(uk[j]) - _fmt(lok[j]), L),
+        )
+        a2 = 2 * y - u - lo
+        b2 = 2 * (y - lo)
+        keep = np.minimum(b2, L) > a2
+        yk2, lok2 = y[keep], lo[keep]
+        _demand_checks(
+            wcur[keep],
+            np.minimum(b2, L)[keep],
+            cl[keep],
+            lambda j: min(2 * (_fmt(yk2[j]) - _fmt(lok2[j])), L),
+        )
+        pcur = par[wcur]
+        step = pcur >= 0
+        cl = cl[step]
+        wprev = wcur[step]
+        wcur = pcur[step]
+
+    # Root-stream tails: positions (2(y - r), L] — always float(L).
+    root = flat.root_index
+    tail = L > 2 * (x - x[root])
+    n_tail = int(np.count_nonzero(tail))
+    _demand_checks(
+        root[tail],
+        np.full(n_tail, float(L)),
+        np.nonzero(tail)[0],
+        lambda j: float(L),  # the oracle appends float(L) tails verbatim
+    )
+
+    # Coverage of (0, L]: the pieces are contiguous from 0 and clipped to
+    # end exactly at L for every strictly-increasing path, so this check
+    # passes identically to the oracle on any forest FlatForest accepts.
+    checks += n
+
+    nr = np.nonzero(par >= 0)[0]
+    checks += nr.size
+    bad = nr[np.abs(demanded[nr] - lengths[nr]) > eps].tolist()
+    if bad:
+        # Failure slow path: the oracle's running max keeps the *type* of
+        # the first maximal piece (an int L from a clipped ``min(b, L)``
+        # prints as ``10``, a float as ``10.0``), so re-derive the demand
+        # values for the affected trees with the oracle's own piece
+        # builder.  Only corrupted forests pay this.
+        typed = _typed_demands(flat, {int(flat.root_index[i]) for i in bad}, L)
+        for i in bad:
+            failures.append(
+                f"stream {float(x[i])}: length {float(lengths[i])} vs demand "
+                f"{typed.get(float(x[i]), 0.0)} (not tight)"
+            )
+    return _finish(report, checks, failures)
+
+
+def _typed_demands(flat: FlatForest, roots, L) -> dict:
+    """Oracle-ordered per-stream continuous demand for the given trees.
+
+    Replays ``_client_intervals_continuous`` client by client (arrival
+    order, as the reference does) so the running ``max`` resolves ties —
+    and hence Python types — identically to the reference verifier.
+    """
+    from ..simulation.verify import _client_intervals_continuous
+
+    paths = flat.paths([_fmt(a) for a in flat.arrivals.tolist()])
+    root_of = flat.root_index
+    demanded: dict = {}
+    for i in range(len(flat)):
+        if int(root_of[i]) not in roots:
+            continue
+        for stream, _a, b in _client_intervals_continuous(paths[i], L):
+            demanded[stream] = max(demanded.get(stream, 0.0), b)
+    return demanded

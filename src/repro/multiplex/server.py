@@ -25,8 +25,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..arrivals.traces import ArrivalTrace
-from ..baselines.dyadic import DyadicParams, dyadic_forest
+from ..baselines.dyadic import DyadicParams
 from ..core.online import build_online_flat_forest
+from ..fastpath.dyadic import dyadic_flat_forest
 from ..simulation.channels import (
     StreamInterval,
     flat_forest_intervals,
@@ -150,8 +151,10 @@ def dyadic_object_load(
         )
     params = params or DyadicParams()
     # dyadic works in slot units; convert the trace, then scale back.
+    # Flat construction: provisioning sweeps over whole catalogs no
+    # longer pay MergeNode recursion per object.
     ts = [t / delay_minutes for t in trace_minutes]
-    forest = dyadic_forest(ts, L, params)
+    forest = dyadic_flat_forest(ts, L, params)
     labels, starts, ends = flat_forest_intervals(forest, L)
     return _load_from_arrays(
         obj.name, L, delay_minutes, labels, starts, ends,

@@ -26,9 +26,10 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, List, Optional, TYPE_CHECKING
 
-from ..baselines.dyadic import DyadicOnline, DyadicParams
+from ..baselines.dyadic import DyadicParams
 from ..core.online import OnlineScheduler
-from .policies import Policy
+from ..fastpath.dyadic import DyadicFlatOnline
+from .policies import Policy, _serve_dyadic_path
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .client import Client
@@ -64,7 +65,7 @@ class HybridPolicy(Policy):
         self._recent: Deque[int] = deque(maxlen=window_slots)
         self._mode = "dyadic"
         self._dg_anchor: Optional[int] = None
-        self._dyadic = DyadicOnline(L, self.params)
+        self._dyadic = DyadicFlatOnline(L, self.params)
         #: (slot_index, mode) history of mode switches, for analysis
         self.mode_log: List[tuple] = []
 
@@ -88,7 +89,7 @@ class HybridPolicy(Policy):
             # across the DG interlude would interleave tree label ranges,
             # which breaks the merge-forest property (trees must be
             # contiguous in time).  A new root will start instead.
-            self._dyadic = DyadicOnline(self.L, self.params)
+            self._dyadic = DyadicFlatOnline(self.L, self.params)
             self.mode_log.append((slot_index, "dyadic"))
 
     # -- slot handling ------------------------------------------------------------
@@ -133,22 +134,9 @@ class HybridPolicy(Policy):
             return
         scale = sim.slot
         label = (slot_index + 1) * scale
-        node = self._dyadic.push(label / scale)
-        if node.parent is None:
-            sim.start_stream(label, planned_units=self.L * scale, parent_label=None)
-        else:
-            parent_label = node.parent.arrival * scale
-            sim.start_stream(
-                label, planned_units=label - parent_label, parent_label=parent_label
-            )
-            y = node.arrival
-            ancestor = node.parent
-            while ancestor is not None and ancestor.parent is not None:
-                sim.extend_stream(
-                    ancestor.arrival * scale,
-                    (2 * y - ancestor.arrival - ancestor.parent.arrival) * scale,
-                )
-                ancestor = ancestor.parent
-        path = tuple(n.arrival * scale for n in node.path_from_root())
+        self._dyadic.push(label / scale)
+        path = _serve_dyadic_path(
+            sim, self._dyadic.current_path(), self.L, scale, label
+        )
         for c in clients:
             c.assign(label, path)

@@ -58,44 +58,48 @@ class BandwidthMetrics:
             return 0.0
         return self.total_units / self.clients_served
 
+    def interval_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The recorded intervals as ``(starts, ends)`` float arrays."""
+        if not self.intervals:
+            empty = np.empty(0, dtype=np.float64)
+            return empty, empty
+        arr = np.asarray(self.intervals, dtype=np.float64)
+        return arr[:, 0], arr[:, 1]
+
     def concurrency_profile(
         self, t0: float, t1: float, resolution: float = 1.0
     ) -> np.ndarray:
         """Concurrent active streams sampled on ``[t0, t1)``.
 
         Sample points are the left edges of bins of width ``resolution``;
-        a stream [s, e) counts at sample t iff s <= t < e.  Vectorised:
-        difference-array over bin indices.
+        a stream [s, e) counts at sample t iff s <= t < e.  One
+        difference-array pass over the stacked interval arrays — the
+        former per-stream Python loop is retired.
         """
         if t1 <= t0 or resolution <= 0:
             raise ValueError("need t1 > t0 and positive resolution")
         nbins = int(np.ceil((t1 - t0) / resolution))
         diff = np.zeros(nbins + 1, dtype=np.int64)
-        for s, e in self.intervals:
-            lo = int(np.ceil((max(s, t0) - t0) / resolution))
-            hi = int(np.ceil((min(e, t1) - t0) / resolution))
-            if hi > lo:
-                diff[lo] += 1
-                diff[hi] -= 1
+        starts, ends = self.interval_arrays()
+        lo = np.ceil((np.maximum(starts, t0) - t0) / resolution).astype(np.int64)
+        hi = np.ceil((np.minimum(ends, t1) - t0) / resolution).astype(np.int64)
+        visible = hi > lo
+        np.add.at(diff, lo[visible], 1)
+        np.add.at(diff, hi[visible], -1)
         return np.cumsum(diff[:-1])
 
     def peak_concurrency(self) -> int:
         """Maximum number of simultaneously active streams (exact).
 
-        Sweep over interval endpoints; half-open [s, e) so a stream ending
-        exactly when another starts does not overlap it.
+        Routed through the vectorised half-open interval sweep of
+        :func:`repro.simulation.channels.peak_concurrency` (a stream
+        ending exactly when another starts does not overlap it, matching
+        the retired event sort that put ends before starts at ties).
         """
-        events: List[Tuple[float, int]] = []
-        for s, e in self.intervals:
-            if e > s:
-                events.append((s, 1))
-                events.append((e, -1))
-        events.sort(key=lambda p: (p[0], p[1]))  # ends (-1) before starts at ties
-        level = peak = 0
-        for _, delta in events:
-            level += delta
-            peak = max(peak, level)
-        return peak
+        from .channels import peak_concurrency
+
+        starts, ends = self.interval_arrays()
+        return peak_concurrency(starts, ends)
 
     def summary(self) -> Dict[str, float]:
         return {

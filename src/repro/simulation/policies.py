@@ -11,6 +11,13 @@ consecutive slotted arrivals and for dyadic windows with ``alpha <= 2``
 (see ``baselines.dyadic``); the :class:`~repro.simulation.stream.Stream`
 entity asserts it.
 
+Since the flat-simulation refactor no policy constructs or traverses
+``MergeNode`` objects: the off-line replays precompute flat parent
+arrays (``build_optimal_flat_forest`` / the ``OnlineScheduler`` tables),
+and the dyadic policies place arrivals with
+:class:`~repro.fastpath.dyadic.DyadicFlatOnline`, whose stack *is* the
+receiving path the Lemma 1 extensions walk.
+
 Policies implemented (the paper's Section 4.2 cast plus baselines):
 
 * :class:`DelayGuaranteedPolicy` — the paper's on-line algorithm: a stream
@@ -27,10 +34,10 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple, TYPE_CHECKING
 
-from ..baselines.dyadic import DyadicOnline, DyadicParams
-from ..core.full_cost import build_optimal_forest
-from ..core.merge_tree import MergeNode
+from ..baselines.dyadic import DyadicParams
+from ..core.full_cost import build_optimal_flat_forest
 from ..core.online import OnlineScheduler
+from ..fastpath.dyadic import DyadicFlatOnline
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .client import Client
@@ -67,15 +74,35 @@ class Policy:
         """Called once after the event queue drains."""
 
 
-def _extend_ancestors_by_node(sim: "Simulation", node: MergeNode) -> None:
-    """Lemma 1 updates along a freshly placed node's root path."""
-    y = node.arrival
-    ancestor = node.parent
-    while ancestor is not None and ancestor.parent is not None:
-        sim.extend_stream(
-            ancestor.arrival, 2 * y - ancestor.arrival - ancestor.parent.arrival
-        )
-        ancestor = ancestor.parent
+def _serve_dyadic_path(
+    sim: "Simulation",
+    path_slots: Tuple[float, ...],
+    L: float,
+    scale: float,
+    label: float,
+) -> Tuple[float, ...]:
+    """Start the stream for a freshly placed dyadic node and apply the
+    Lemma 1 ancestor extensions, all from the receiving path alone.
+
+    ``path_slots`` is the root path in the dyadic builder's (slot-unit)
+    frame; ``label`` is the new stream's label on the simulation clock
+    (``path_slots[-1] * scale`` up to the caller's arithmetic).  Returns
+    the scaled path for client assignment.
+    """
+    path = tuple(p * scale for p in path_slots)
+    if len(path) == 1:
+        sim.start_stream(label, planned_units=L * scale, parent_label=None)
+        return path
+    parent_label = path[-2]
+    sim.start_stream(
+        label, planned_units=label - parent_label, parent_label=parent_label
+    )
+    # z(a) updates for every non-root strict ancestor, in slot units.
+    y = path_slots[-1]
+    for depth in range(len(path_slots) - 2, 0, -1):
+        a, pa = path_slots[depth], path_slots[depth - 1]
+        sim.extend_stream(a * scale, (2 * y - a - pa) * scale)
+    return path
 
 
 class DelayGuaranteedPolicy(Policy):
@@ -132,17 +159,11 @@ class OfflineOptimalPolicy(Policy):
     def __init__(self, L: int, n_slots: int):
         self.name = "offline-optimal"
         self.L = L
-        self.forest = build_optimal_forest(L, n_slots)
-        self._lengths = self.forest.stream_lengths(L)
-        self._parent = {}
-        self._path = {}
-        for tree in self.forest:
-            pm = tree.parent_map()
-            self._parent.update(pm)
-            for arrival in tree.arrivals():
-                self._path[arrival] = tuple(
-                    node.arrival for node in tree.node(arrival).path_from_root()
-                )
+        # Flat construction: parent arrays only, no MergeNode graph.
+        self.forest = build_optimal_flat_forest(L, n_slots)
+        self._lengths = self.forest.stream_lengths(L).tolist()
+        self._parent = self.forest.parent.tolist()
+        self._path = self.forest.paths(range(n_slots))
 
     def on_slot_end(
         self, slot_index: int, clients: List["Client"], sim: "Simulation"
@@ -150,7 +171,7 @@ class OfflineOptimalPolicy(Policy):
         scale = sim.slot
         label = (slot_index + 1) * scale
         parent = self._parent[slot_index]
-        parent_label = None if parent is None else (parent + 1) * scale
+        parent_label = None if parent < 0 else (parent + 1) * scale
         sim.start_stream(
             label,
             planned_units=self._lengths[slot_index] * scale,
@@ -192,20 +213,14 @@ class GeneralOfflinePolicy(Policy):
         # parent arrays — no MergeNode graph is ever built.
         self.forest = optimal_flat_forest_general(ends, L)
         arrivals = self.forest.arrivals.tolist()
-        parent = self.forest.parent
+        parent = self.forest.parent.tolist()
+        paths = self.forest.paths()
         self._lengths = self.forest.stream_length_map(L)
-        self._parent = {}
-        self._path = {}
-        paths: List[Tuple[float, ...]] = [()] * len(arrivals)
-        for i, a in enumerate(arrivals):
-            p = int(parent[i])
-            if p < 0:
-                self._parent[a] = None
-                paths[i] = (a,)
-            else:
-                self._parent[a] = arrivals[p]
-                paths[i] = paths[p] + (a,)  # parents precede children
-            self._path[a] = paths[i]
+        self._parent = {
+            a: (None if parent[i] < 0 else arrivals[parent[i]])
+            for i, a in enumerate(arrivals)
+        }
+        self._path = dict(zip(arrivals, paths))
 
     def on_slot_end(
         self, slot_index: int, clients: List["Client"], sim: "Simulation"
@@ -239,22 +254,14 @@ class ImmediateDyadicPolicy(Policy):
         self.name = "immediate-dyadic"
         self.L = L
         self.params = params or DyadicParams()
-        self._builder = DyadicOnline(L, self.params)
+        self._builder = DyadicFlatOnline(L, self.params)
 
     def on_arrival(self, client: "Client", sim: "Simulation") -> None:
-        node = self._builder.push(client.arrival)
-        label = node.arrival
-        if node.parent is None:
-            sim.start_stream(label, planned_units=self.L, parent_label=None)
-        else:
-            sim.start_stream(
-                label,
-                planned_units=label - node.parent.arrival,
-                parent_label=node.parent.arrival,
-            )
-            _extend_ancestors_by_node(sim, node)
-        path = tuple(n.arrival for n in node.path_from_root())
-        client.assign(label, path)
+        self._builder.push(client.arrival)
+        path = _serve_dyadic_path(
+            sim, self._builder.current_path(), self.L, 1.0, client.arrival
+        )
+        client.assign(client.arrival, path)
 
 
 class BatchedDyadicPolicy(Policy):
@@ -266,7 +273,7 @@ class BatchedDyadicPolicy(Policy):
         self.name = "batched-dyadic"
         self.L = L
         self.params = params or DyadicParams()
-        self._builder = DyadicOnline(L, self.params)
+        self._builder = DyadicFlatOnline(L, self.params)
 
     def on_slot_end(
         self, slot_index: int, clients: List["Client"], sim: "Simulation"
@@ -276,24 +283,10 @@ class BatchedDyadicPolicy(Policy):
         scale = sim.slot
         label = (slot_index + 1) * scale
         # Dyadic windows are in the same units as L; work in slot units.
-        node = self._builder.push(label / scale)
-        if node.parent is None:
-            sim.start_stream(label, planned_units=self.L * scale, parent_label=None)
-        else:
-            parent_label = node.parent.arrival * scale
-            sim.start_stream(
-                label, planned_units=label - parent_label, parent_label=parent_label
-            )
-            # Ancestor extension in slot units then scaled.
-            y = node.arrival
-            ancestor = node.parent
-            while ancestor is not None and ancestor.parent is not None:
-                sim.extend_stream(
-                    ancestor.arrival * scale,
-                    (2 * y - ancestor.arrival - ancestor.parent.arrival) * scale,
-                )
-                ancestor = ancestor.parent
-        path = tuple(n.arrival * scale for n in node.path_from_root())
+        self._builder.push(label / scale)
+        path = _serve_dyadic_path(
+            sim, self._builder.current_path(), self.L, scale, label
+        )
         for c in clients:
             c.assign(label, path)
 

@@ -25,8 +25,11 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+import numpy as np
+
 from ..arrivals.traces import ArrivalTrace
-from ..core.merge_tree import MergeForest, tree_from_parent_map
+from ..core.merge_tree import MergeForest
+from ..fastpath.flat_forest import FlatForest
 from .client import Client
 from .events import Event, EventQueue
 from .metrics import BandwidthMetrics
@@ -51,25 +54,44 @@ class SimulationResult:
     streams: Dict[float, Stream]
     horizon: float
 
-    def forest(self) -> MergeForest:
-        """Reconstruct the merge forest the run realised.
+    def flat_forest(self) -> FlatForest:
+        """The merge forest the run realised, as flat parent arrays.
 
-        Streams are grouped into trees by following parent labels; the
-        result lets :mod:`repro.simulation.verify` replay every client's
-        receiving program against what the server actually broadcast.
+        Stream labels (sorted) become the node order; parent labels are
+        resolved to indices by binary search — no ``MergeNode`` graph is
+        built at any client count.  This is what
+        :mod:`repro.simulation.verify` replays wholesale against what the
+        server actually broadcast.  Raises ``ValueError`` for a run that
+        started no streams (a flat forest cannot be empty).
         """
-        parents = {s.label: s.parent_label for s in self.streams.values()}
-        # Split into trees: a root starts a new component.
-        trees = []
-        current: Dict[float, Optional[float]] = {}
-        for label in sorted(parents):
-            if parents[label] is None and current:
-                trees.append(tree_from_parent_map(current))
-                current = {}
-            current[label] = parents[label]
-        if current:
-            trees.append(tree_from_parent_map(current))
-        return MergeForest(trees)
+        if not self.streams:
+            raise ValueError("run started no streams — nothing to reconstruct")
+        labels = np.asarray(sorted(self.streams), dtype=np.float64)
+        parent_labels = np.asarray(
+            [
+                math.nan
+                if (p := self.streams[l].parent_label) is None
+                else p
+                for l in labels.tolist()
+            ],
+            dtype=np.float64,
+        )
+        is_root = np.isnan(parent_labels)
+        idx = np.minimum(
+            np.searchsorted(labels, np.where(is_root, labels[0], parent_labels)),
+            labels.size - 1,
+        )
+        if not np.array_equal(
+            labels[idx[~is_root]], parent_labels[~is_root]
+        ):
+            raise ValueError("stream parent label not among stream labels")
+        parent = np.where(is_root, -1, idx)
+        return FlatForest(labels, parent)
+
+    def forest(self) -> MergeForest:
+        """Object-graph view of :meth:`flat_forest` (for rendering and
+        serialization; the verification hot path never builds it)."""
+        return self.flat_forest().to_forest()
 
     def max_startup_delay(self) -> float:
         return max((c.startup_delay for c in self.clients), default=0.0)

@@ -17,6 +17,15 @@ broadcast) and checks every claim the analysis makes:
 
 Integer-slotted forests get exact part-by-part replay; real-valued forests
 (immediate dyadic) get the continuous-interval analogue.
+
+Since the flat-simulation refactor the public entry points run the
+*batched* replay of :mod:`repro.fastpath.replay` — vectorised per-stream
+interval algebra on :class:`~repro.fastpath.flat_forest.FlatForest`
+arrays, ~10^3x faster at 10^5 clients.  The original per-client object
+walks survive here as :func:`verify_forest_reference` and
+:func:`verify_forest_continuous_reference`; the fastpath property tests
+assert report-for-report identity (same check counts, same failure sets)
+between the two on valid *and* corrupted forests.
 """
 
 from __future__ import annotations
@@ -40,6 +49,8 @@ __all__ = [
     "VerificationReport",
     "verify_forest",
     "verify_forest_continuous",
+    "verify_forest_reference",
+    "verify_forest_continuous_reference",
     "verify_simulation",
 ]
 
@@ -78,8 +89,28 @@ def verify_forest(
 ) -> VerificationReport:
     """Exact replay verification of an integer-slotted merge forest.
 
-    Accepts either forest representation; stream-length bookkeeping runs
-    on the flat fast path, the part-by-part replay on the object form.
+    Accepts either forest representation; runs entirely on the batched
+    flat replay (:func:`repro.fastpath.replay.replay_verify_forest`).
+    :func:`verify_forest_reference` is the per-client oracle it is
+    property-tested against.
+    """
+    from ..fastpath.replay import replay_verify_forest
+
+    return replay_verify_forest(forest, L, model=model, buffer_bound=buffer_bound)
+
+
+def verify_forest_reference(
+    forest: Union[MergeForest, FlatForest],
+    L: int,
+    model: str = "receive-two",
+    buffer_bound: Optional[float] = None,
+) -> VerificationReport:
+    """Per-client object-walk replay — the verification oracle.
+
+    Builds every client's :class:`~repro.core.receiving_program.
+    ReceivingProgram` part by part and checks it directly; O(total parts)
+    Python objects.  Kept as the reference the batched replay must match
+    report-for-report.
     """
     report = VerificationReport()
     flat = as_flat_forest(forest)
@@ -175,7 +206,20 @@ def _client_intervals_continuous(
 def verify_forest_continuous(
     forest: Union[MergeForest, FlatForest], L: float
 ) -> VerificationReport:
-    """Interval-based verification for real-valued (unslotted) forests."""
+    """Interval-based verification for real-valued (unslotted) forests.
+
+    Runs on the batched flat replay; the per-client walk survives as
+    :func:`verify_forest_continuous_reference`.
+    """
+    from ..fastpath.replay import replay_verify_forest_continuous
+
+    return replay_verify_forest_continuous(forest, L)
+
+
+def verify_forest_continuous_reference(
+    forest: Union[MergeForest, FlatForest], L: float
+) -> VerificationReport:
+    """Per-client continuous-interval verification — the oracle."""
     report = VerificationReport()
     flat = as_flat_forest(forest)
     if isinstance(forest, FlatForest):
@@ -232,25 +276,30 @@ def verify_simulation(
     * every client's recorded path exists in the forest and ends at its
       assigned stream;
     * per-model replay of the forest itself (exact or continuous).
+
+    Everything runs on the flat forest the run reconstructs
+    (:meth:`~repro.simulation.server.SimulationResult.flat_forest`) — no
+    ``MergeNode`` graph is built at any client count.
     """
-    forest = result.forest()
+    flat = result.flat_forest()
     if continuous:
-        report = verify_forest_continuous(forest, result.L)
+        report = verify_forest_continuous(flat, result.L)
     else:
-        report = verify_forest(forest, result.L)
+        report = verify_forest(flat, result.L)
 
     measured = result.metrics.total_units
-    analytic = forest.full_cost(result.L)
+    analytic = flat.full_cost(result.L)
     report.record(
         abs(measured - analytic) <= 1e-6 * max(1.0, abs(analytic)),
         f"measured bandwidth {measured} != analytic full cost {analytic}",
     )
+    paths = flat.paths()
     for client in result.clients:
         if client.tree_label is None:
             report.record(False, f"client {client.client_id} was never assigned")
             continue
         try:
-            tree, node = forest.find(client.tree_label)
+            node = flat.find(client.tree_label)
         except KeyError:
             report.record(
                 False,
@@ -258,7 +307,7 @@ def verify_simulation(
                 f"{client.tree_label}",
             )
             continue
-        actual_path = tuple(n.arrival for n in node.path_from_root())
+        actual_path = paths[node]
         report.record(
             actual_path == client.path,
             f"client {client.client_id}: recorded path {client.path} != "

@@ -134,6 +134,18 @@ class TestEnumeration:
         for n in range(1, 7):
             assert sum(1 for _ in offline.enumerate_merge_trees(n)) == catalan[n - 1]
 
+    def test_cap_boundary_still_enumerates(self):
+        # the cap itself stays usable (boundary case of the Catalan guard)
+        gen = offline.enumerate_merge_trees(offline.MAX_ENUMERATION_N)
+        assert len(next(gen)) == offline.MAX_ENUMERATION_N
+
+    def test_catalan_blowup_rejected_beyond_cap(self):
+        with pytest.raises(ValueError, match="Catalan"):
+            next(offline.enumerate_merge_trees(offline.MAX_ENUMERATION_N + 1))
+        # the error points large-n users at the O(n) construction
+        with pytest.raises(ValueError, match="build_optimal_tree"):
+            offline.enumerate_optimal_trees(50)
+
     def test_fig6_two_optimal_trees_for_4(self):
         trees = offline.enumerate_optimal_trees(4)
         assert len(trees) == 2

@@ -1,0 +1,170 @@
+"""Flat dyadic builders vs. the MergeNode oracles — node-for-node.
+
+Satellite contract of the flat-simulation PR: ``dyadic_flat_forest`` ==
+``dyadic_forest`` == ``DyadicOnline`` == ``DyadicFlatOnline`` on
+adversarial traces — arrivals exactly on dyadic interval edges, exactly
+at the cutoff ``y``, dense clusters, both ``alpha = 2`` and
+``alpha = phi``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.dyadic import (
+    DyadicOnline,
+    DyadicParams,
+    dyadic_cost,
+    dyadic_forest,
+)
+from repro.core.fibonacci import PHI
+from repro.fastpath.dyadic import (
+    DyadicFlatOnline,
+    dyadic_flat_cost,
+    dyadic_flat_forest,
+)
+from repro.fastpath.flat_forest import FlatForest
+
+from tests.conftest import increasing_times, increasing_times_exact
+
+ALPHAS = st.sampled_from([2.0, PHI])
+BETAS = st.sampled_from([0.5, 0.3, 0.9])
+
+
+def _assert_same_forest(ts, L, params):
+    ref = FlatForest.from_forest(dyadic_forest(ts, L, params))
+    flat = dyadic_flat_forest(ts, L, params)
+    assert flat.equals(ref)
+    assert np.array_equal(flat.z, ref.z)  # trusted-z shortcut is exact
+    online = DyadicFlatOnline(L, params)
+    online.extend(ts)
+    assert online.finish().equals(ref)
+    return flat, ref
+
+
+class TestBatchEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(increasing_times(min_size=1, max_size=50, horizon=300.0), ALPHAS, BETAS)
+    def test_random_traces(self, times, alpha, beta):
+        _assert_same_forest(times, 100, DyadicParams(alpha=alpha, beta=beta))
+
+    @settings(max_examples=40, deadline=None)
+    @given(increasing_times_exact(min_size=1, max_size=40, horizon=200.0), ALPHAS)
+    def test_exact_grid_costs_bit_identical(self, times, alpha):
+        params = DyadicParams(alpha=alpha, beta=0.5)
+        L = 64  # binary-exact L: every length expression stays exact
+        flat, _ref = _assert_same_forest(times, L, params)
+        assert dyadic_flat_cost(times, L, params) == dyadic_forest(
+            times, L, params
+        ).full_cost(L)
+        # the public dyadic_cost entry point now routes through the flat path
+        assert dyadic_cost(times, L, params) == dyadic_flat_cost(times, L, params)
+
+    @pytest.mark.parametrize("alpha", [2.0, PHI])
+    def test_arrivals_on_interval_edges(self, alpha):
+        """Arrivals exactly at dyadic left edges and at the cutoff."""
+        params = DyadicParams(alpha=alpha, beta=0.5)
+        L = 64
+        window = params.window(L)
+        ts = {0.0, window}  # root and an arrival exactly at the cutoff
+        for i in range(1, 18):
+            ts.add(window / alpha**i)  # interval left edges
+        _assert_same_forest(sorted(ts), L, params)
+
+    @pytest.mark.parametrize("alpha", [2.0, PHI])
+    def test_nested_edge_grid(self, alpha):
+        """Edges of the *second-level* windows too (deep descents)."""
+        params = DyadicParams(alpha=alpha, beta=0.5)
+        L = 64
+        window = params.window(L)
+        ts = {0.0}
+        for i in range(1, 8):
+            child = window / alpha**i
+            ts.add(child)
+            hi = window / alpha ** (i - 1)
+            for j in range(1, 6):
+                ts.add(child + (hi - child) / alpha**j)
+        _assert_same_forest(sorted(t for t in ts if t <= window), L, params)
+
+    def test_multiple_roots(self):
+        params = DyadicParams(beta=0.5)
+        ts = [0.0, 10.0, 51.0, 70.0, 102.0]
+        flat, _ = _assert_same_forest(ts, 100, params)
+        assert flat.roots() == [0.0, 51.0, 102.0]
+
+    def test_dense_cluster(self):
+        ts = [i * 0.125 for i in range(400)]
+        _assert_same_forest(ts, 100, DyadicParams(alpha=2.0, beta=0.5))
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            dyadic_flat_forest([], 100)
+
+    def test_non_increasing_rejected(self):
+        with pytest.raises(ValueError):
+            dyadic_flat_forest([0.0, 0.0], 100)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            dyadic_flat_forest([0.0, float("nan"), 2.0], 100)
+
+    def test_bad_L(self):
+        with pytest.raises(ValueError):
+            dyadic_flat_forest([0.0], 0)
+        with pytest.raises(ValueError):
+            DyadicFlatOnline(0)
+
+    def test_resolution_limit_matches_oracle(self):
+        ts = [0.0, 1e-14, 1.0]
+        with pytest.raises(ValueError, match="resolution limit"):
+            dyadic_forest(ts, 100)
+        with pytest.raises(ValueError, match="resolution limit"):
+            dyadic_flat_forest(ts, 100)
+
+
+class TestFlatOnline:
+    def test_paths_match_object_stack(self):
+        rng = random.Random(5)
+        params = DyadicParams(alpha=PHI, beta=0.5)
+        obj = DyadicOnline(100, params)
+        flat = DyadicFlatOnline(100, params)
+        t = 0.0
+        for _ in range(200):
+            t += rng.choice([0.125, 0.5, 3.0, 60.0])
+            node = obj.push(t)
+            flat.push(t)
+            want = tuple(n.arrival for n in node.path_from_root())
+            assert flat.current_path() == want
+
+    def test_monotonicity_enforced(self):
+        online = DyadicFlatOnline(100)
+        online.push(5.0)
+        with pytest.raises(ValueError, match="strictly increasing"):
+            online.push(5.0)
+
+    def test_nan_push_rejected_without_advancing(self):
+        online = DyadicFlatOnline(100)
+        online.push(0.0)
+        with pytest.raises(ValueError, match="finite"):
+            online.push(float("nan"))
+        assert online.push(1.0) == 1
+        assert online.current_path() == (0.0, 1.0)
+
+    def test_finish_empty(self):
+        with pytest.raises(ValueError):
+            DyadicFlatOnline(100).finish()
+
+    def test_indices_are_arrival_order(self):
+        online = DyadicFlatOnline(100)
+        assert online.push(0.0) == 0
+        assert online.push(10.0) == 1
+        assert online.push(70.0) == 2  # new root
+        assert len(online) == 3
+        assert online.finish().num_trees() == 2

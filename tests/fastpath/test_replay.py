@@ -1,0 +1,203 @@
+"""Batched replay verification vs. the per-client oracle — report-for-report.
+
+Satellite contract of the flat-simulation PR: on randomized forests
+(optimal, on-line, buffer-bounded, receive-all, dyadic-continuous) the
+batched replay must produce *identical* ``VerificationReport``s to the
+object-walk oracle — same ok flag, same check count, same failure set —
+including on corrupted forests with injected violations (mutated parent
+pointers, shortened streams via tampered subtree maxima, buffer bound
+breaches).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.dyadic import dyadic_forest
+from repro.core.buffers import build_optimal_bounded_forest
+from repro.core.full_cost import build_optimal_forest
+from repro.core.online import build_online_forest
+from repro.core.receive_all import build_optimal_forest_receive_all
+from repro.fastpath.flat_forest import FlatForest, as_flat_forest
+from repro.fastpath.replay import (
+    replay_verify_forest,
+    replay_verify_forest_continuous,
+)
+from repro.simulation.verify import (
+    verify_forest,
+    verify_forest_continuous,
+    verify_forest_continuous_reference,
+    verify_forest_reference,
+)
+
+from tests.conftest import increasing_times_exact
+
+
+def assert_reports_equal(ref, fast, ctx=""):
+    assert fast.ok == ref.ok, (ctx, ref.failures, fast.failures)
+    assert fast.checks == ref.checks, (ctx, ref.checks, fast.checks)
+    assert sorted(fast.failures) == sorted(ref.failures), ctx
+
+
+small_L = st.sampled_from([4, 7, 10, 15, 30])
+small_n = st.integers(min_value=1, max_value=90)
+
+
+class TestValidForests:
+    @settings(max_examples=40, deadline=None)
+    @given(small_L, small_n)
+    def test_optimal_forests(self, L, n):
+        forest = build_optimal_forest(L, n)
+        for model in ("receive-two", "receive-all"):
+            assert_reports_equal(
+                verify_forest_reference(forest, L, model=model),
+                replay_verify_forest(forest, L, model=model),
+                (L, n, model),
+            )
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_L, small_n)
+    def test_online_forests(self, L, n):
+        forest = build_online_forest(L, n)
+        assert_reports_equal(
+            verify_forest_reference(forest, L),
+            replay_verify_forest(forest, L),
+            (L, n),
+        )
+        assert_reports_equal(
+            verify_forest_continuous_reference(forest, L),
+            replay_verify_forest_continuous(forest, L),
+            (L, n, "continuous"),
+        )
+
+    def test_receive_all_forests(self):
+        for L, n in [(20, 30), (10, 57), (8, 8)]:
+            forest = build_optimal_forest_receive_all(L, n)
+            assert_reports_equal(
+                verify_forest_reference(forest, L, model="receive-all"),
+                replay_verify_forest(forest, L, model="receive-all"),
+                (L, n),
+            )
+
+    def test_bounded_forests_with_buffer_bound(self):
+        forest = build_optimal_bounded_forest(30, 50, 10)
+        for bound in (10, 3, 1):
+            assert_reports_equal(
+                verify_forest_reference(forest, 30, buffer_bound=bound),
+                replay_verify_forest(forest, 30, buffer_bound=bound),
+                bound,
+            )
+
+    @settings(max_examples=30, deadline=None)
+    @given(increasing_times_exact(min_size=1, max_size=35, horizon=300.0))
+    def test_dyadic_continuous(self, times):
+        forest = dyadic_forest(times, 100)
+        assert_reports_equal(
+            verify_forest_continuous_reference(forest, 100),
+            replay_verify_forest_continuous(forest, 100),
+        )
+
+
+def _mutate_parent(flat: FlatForest, rng: random.Random) -> FlatForest:
+    """Reattach one non-root node to a different earlier node of its tree."""
+    par = flat.parent.copy()
+    candidates = [
+        i
+        for i in range(1, len(flat))
+        if i - int(flat.root_index[i]) >= 2
+    ]
+    if not candidates:
+        return flat
+    i = rng.choice(candidates)
+    lo = int(flat.root_index[i])
+    choices = [j for j in range(lo, i) if j != int(par[i])]
+    par[i] = rng.choice(choices)
+    return FlatForest(flat.arrivals.copy(), par)
+
+
+class TestInjectedViolations:
+    """Corrupted forests must fail identically in both replays."""
+
+    def test_mutated_parents(self):
+        rng = random.Random(11)
+        failing = 0
+        for _ in range(60):
+            L = rng.choice([6, 10, 15])
+            n = rng.randint(4, 70)
+            mutated = _mutate_parent(
+                as_flat_forest(build_optimal_forest(L, n)), rng
+            )
+            for model in ("receive-two", "receive-all"):
+                ref = verify_forest_reference(mutated, L, model=model)
+                fast = replay_verify_forest(mutated, L, model=model)
+                assert_reports_equal(ref, fast, (L, n, model))
+                failing += 0 if ref.ok else 1
+            assert_reports_equal(
+                verify_forest_continuous_reference(mutated, L),
+                replay_verify_forest_continuous(mutated, L),
+                (L, n, "continuous"),
+            )
+        assert failing > 0  # the injection does produce real violations
+
+    def test_shortened_stream(self):
+        """Tampering z shortens Lemma 1 lengths: sufficiency must fail."""
+        rng = random.Random(13)
+        failing = 0
+        for _ in range(40):
+            L = rng.choice([8, 15])
+            n = rng.randint(3, 60)
+            flat = as_flat_forest(build_optimal_forest(L, n))
+            j = rng.randrange(n)
+            flat.z[j] = flat.arrivals[j]  # pretend the subtree ends at j
+            ref = verify_forest_reference(flat, L)
+            fast = replay_verify_forest(flat, L)
+            assert_reports_equal(ref, fast, (L, n, j))
+            failing += 0 if ref.ok else 1
+        assert failing > 0
+
+    def test_buffer_bound_breach(self):
+        forest = build_optimal_forest(30, 50)
+        ref = verify_forest_reference(forest, 30, buffer_bound=1)
+        fast = replay_verify_forest(forest, 30, buffer_bound=1)
+        assert_reports_equal(ref, fast)
+        assert not ref.ok
+        assert any("buffer" in f for f in fast.failures)
+
+    def test_infeasible_span(self):
+        from repro.core.merge_tree import MergeForest, star_tree
+
+        forest = MergeForest([star_tree([0, 1, 12])])
+        ref = verify_forest_reference(forest, 10)
+        fast = replay_verify_forest(forest, 10)
+        assert_reports_equal(ref, fast)
+        assert not fast.ok and "infeasible" in fast.failures[0]
+
+
+class TestErrorPaths:
+    def test_non_integer_arrivals_raise(self):
+        forest = dyadic_forest([0.0, 0.5, 1.5], 10)
+        with pytest.raises(ValueError, match="slotted"):
+            verify_forest_reference(forest, 10)
+        with pytest.raises(ValueError, match="slotted"):
+            replay_verify_forest(forest, 10)
+
+    def test_unknown_model(self):
+        forest = build_optimal_forest(10, 5)
+        with pytest.raises(ValueError, match="unknown model"):
+            replay_verify_forest(forest, 10, model="receive-three")
+
+    def test_public_entry_points_are_flat(self):
+        """verify_forest / verify_forest_continuous run the batched path
+        and stay interchangeable with the oracle."""
+        forest = build_optimal_forest(15, 40)
+        assert_reports_equal(
+            verify_forest_reference(forest, 15), verify_forest(forest, 15)
+        )
+        assert_reports_equal(
+            verify_forest_continuous_reference(forest, 15),
+            verify_forest_continuous(forest, 15),
+        )

@@ -164,6 +164,30 @@ class TestSimulationPlumbing:
         assert forest.num_arrivals() == n
         assert forest.full_cost(L) == res.metrics.total_units
 
+    def test_empty_run_and_dangling_parent_rejected(self):
+        res = Simulation(10, ArrivalTrace(times=(), horizon=5.0), UnicastPolicy(10)).run()
+        with pytest.raises(ValueError, match="no streams"):
+            res.flat_forest()
+        res2 = Simulation(
+            10, ArrivalTrace(times=(1.5,), horizon=5.0), UnicastPolicy(10)
+        ).run()
+        object.__setattr__(res2.streams[1.5], "parent_label", 99.0)
+        object.__setattr__(res2.streams[1.5], "is_root", False)
+        with pytest.raises(ValueError, match="parent label"):
+            res2.flat_forest()
+
+    def test_flat_forest_matches_object_view(self):
+        from repro.fastpath.flat_forest import FlatForest
+
+        L = 100
+        trace = poisson(0.9, 60.0, seed=21)
+        res = Simulation(L, trace, ImmediateDyadicPolicy(L)).run()
+        flat = res.flat_forest()
+        assert flat.equals(FlatForest.from_forest(res.forest()))
+        # and the run's forest is node-for-node the dyadic oracle's
+        want = FlatForest.from_forest(dyadic_forest(list(trace), L))
+        assert flat.equals(want)
+
     def test_policy_base_class_raises(self):
         from repro.simulation.policies import Policy
 

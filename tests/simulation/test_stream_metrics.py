@@ -136,3 +136,56 @@ class TestBandwidthMetrics:
         assert s["total_units"] == 10.0
         assert s["peak_concurrency"] == 1.0
         assert s["clients_served"] == 1.0
+
+    def test_empty_metrics_vectorised_paths(self):
+        m = BandwidthMetrics(L=10)
+        assert m.peak_concurrency() == 0
+        assert list(m.concurrency_profile(0, 5)) == [0, 0, 0, 0, 0]
+
+
+class TestVectorisedEquivalence:
+    """The numpy interval paths must match the retired per-stream loops."""
+
+    @staticmethod
+    def _reference_peak(intervals):
+        events = []
+        for s, e in intervals:
+            if e > s:
+                events.append((s, 1))
+                events.append((e, -1))
+        events.sort(key=lambda p: (p[0], p[1]))  # ends before starts at ties
+        level = peak = 0
+        for _, delta in events:
+            level += delta
+            peak = max(peak, level)
+        return peak
+
+    @staticmethod
+    def _reference_profile(intervals, t0, t1, resolution):
+        import numpy as np
+
+        nbins = int(np.ceil((t1 - t0) / resolution))
+        diff = np.zeros(nbins + 1, dtype=np.int64)
+        for s, e in intervals:
+            lo = int(np.ceil((max(s, t0) - t0) / resolution))
+            hi = int(np.ceil((min(e, t1) - t0) / resolution))
+            if hi > lo:
+                diff[lo] += 1
+                diff[hi] -= 1
+        return np.cumsum(diff[:-1])
+
+    def test_random_interval_sets(self):
+        import random
+
+        import numpy as np
+
+        rng = random.Random(99)
+        for _ in range(50):
+            m = BandwidthMetrics(L=10)
+            for _ in range(rng.randint(0, 60)):
+                s = rng.randint(0, 40) * 0.5
+                m.record_stream(s, s + rng.randint(0, 20) * 0.5, rng.random() < 0.3)
+            assert m.peak_concurrency() == self._reference_peak(m.intervals)
+            prof = m.concurrency_profile(0.0, 25.0, 0.75)
+            want = self._reference_profile(m.intervals, 0.0, 25.0, 0.75)
+            assert np.array_equal(prof, want)
