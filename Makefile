@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python
 
-.PHONY: test bench bench-general bench-sim bench-smoke
+.PHONY: test bench bench-general bench-sim bench-fleet bench-smoke
 
 ## tier-1 test suite (must stay green)
 test:
@@ -23,7 +23,13 @@ bench-general:
 bench-sim:
 	$(PY) benchmarks/bench_sim.py
 
+## batched fleet engine sweep: regenerates BENCH_fleet.json (runs the
+## event-driven oracle at n=10^5 per policy; ~1 minute)
+bench-fleet:
+	$(PY) benchmarks/bench_fleet.py
+
 ## quick pytest-benchmark pass over the fastpath + general-arrivals +
-## flat-simulation smoke cases (CI job; every run asserts fast == reference)
+## flat-simulation + fleet smoke cases (CI job; every run asserts
+## fast == reference)
 bench-smoke:
-	$(PY) -m pytest benchmarks/bench_fastpath.py benchmarks/bench_general.py benchmarks/bench_sim.py --benchmark-only -q
+	$(PY) -m pytest benchmarks/bench_fastpath.py benchmarks/bench_general.py benchmarks/bench_sim.py benchmarks/bench_fleet.py --benchmark-only -q

@@ -1,0 +1,234 @@
+"""Batched fleet engine vs. the event-driven ``Simulation`` — the
+``BENCH_fleet.json`` trajectory.
+
+Two modes (same layout as ``bench_sim.py``):
+
+* ``pytest benchmarks/bench_fleet.py --benchmark-only`` — smoke-size
+  pytest-benchmark runs (small n; every run asserts batched == event);
+* ``python benchmarks/bench_fleet.py`` (or ``make bench-fleet``) — the
+  full sweep, writing ``BENCH_fleet.json`` (schema
+  ``repro.fastpath.bench.v1``) at the repo root.
+
+"Reference" timings run the event-driven ``Simulation`` (heap-ordered
+queue, per-event Python callbacks, lazy-postpone stream ends) through
+the production policies; "fast" timings run the slot-sweep kernel
+``repro.fleet.simulate_batched`` on the same trace and policy.  Every
+timed pair asserts full equivalence in-run — identical metric counters,
+interval multisets, total bandwidth, flat-forest parent arrays, and
+per-client service — via ``assert_equivalent_run``.  The sweep enforces
+the ISSUE 4 acceptance floor: >= 10x at n = 10^5 clients for every
+engine case.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import Dict, List
+
+if __name__ == "__main__":  # script mode: make src importable before repro
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from repro.arrivals import poisson
+from repro.fleet import (
+    FleetPolicy,
+    assert_equivalent_run,
+    run_fleet,
+    simulate_batched,
+    simulate_event,
+)
+from repro.multiplex import Catalog, serve_catalog, split_requests
+
+from conftest import timeit_best, write_bench_json
+
+#: stream length for the engine cases (slot units).
+ENGINE_L = 100
+
+#: engine case matrix: policy kind -> (trace horizon, mean gap) per n.
+ENGINE_TRACES = {
+    10_000: (1_000.0, 0.1),
+    100_000: (1_000.0, 0.01),
+}
+
+#: catalog shape for the runner case.
+CATALOG_TITLES = 120
+CATALOG_HORIZON_MIN = 480.0
+CATALOG_DELAY_MIN = 2.0
+
+
+def _engine_pair(kind: str, n: int):
+    horizon, mean = ENGINE_TRACES[n]
+    trace = poisson(mean, horizon, seed=17)
+    policy = FleetPolicy(kind)
+    return trace, policy
+
+
+def _reference_catalog_sweep(catalog, workload):
+    """Per-object event-driven sims + interval aggregation (the pre-fleet
+    path a catalog run had to take)."""
+    from repro.arrivals.traces import ArrivalTrace
+
+    peaks = 0.0
+    total = 0.0
+    import numpy as np
+
+    all_starts, all_ends = [], []
+    for obj in catalog:
+        trace_min = workload.get(obj.name)
+        if trace_min is None or len(trace_min) == 0:
+            continue
+        L = obj.units(CATALOG_DELAY_MIN)
+        ts = tuple(t / CATALOG_DELAY_MIN for t in trace_min)
+        horizon = trace_min.horizon / CATALOG_DELAY_MIN
+        if ts and ts[-1] >= horizon:
+            horizon = float(np.nextafter(ts[-1], np.inf))
+        trace = ArrivalTrace(times=ts, horizon=horizon)
+        res = simulate_event(L, trace, FleetPolicy.immediate_dyadic())
+        starts, ends = res.metrics.interval_arrays()
+        all_starts.append(starts * CATALOG_DELAY_MIN)
+        all_ends.append(ends * CATALOG_DELAY_MIN)
+        total += float(np.sum(ends - starts)) * CATALOG_DELAY_MIN
+    from repro.simulation.channels import peak_concurrency
+
+    peaks = peak_concurrency(np.concatenate(all_starts), np.concatenate(all_ends))
+    return peaks, total
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark smoke tests (small n, CI-friendly)
+# ---------------------------------------------------------------------------
+
+
+def test_engine_dyadic_smoke(benchmark):
+    trace = poisson(0.1, 300.0, seed=17)
+    policy = FleetPolicy.immediate_dyadic()
+    fast = benchmark(simulate_batched, ENGINE_L, trace, policy)
+    assert_equivalent_run(simulate_event(ENGINE_L, trace, policy), fast)
+
+
+def test_engine_dg_smoke(benchmark):
+    trace = poisson(0.5, 300.0, seed=17)
+    policy = FleetPolicy.delay_guaranteed()
+    fast = benchmark(simulate_batched, 15, trace, policy)
+    assert_equivalent_run(simulate_event(15, trace, policy), fast)
+
+
+def test_fleet_runner_smoke(benchmark):
+    catalog = Catalog.zipf(12, duration_minutes=60.0)
+    workload = split_requests(poisson(0.2, 120.0, seed=5), catalog, seed=5)
+    report = benchmark(
+        run_fleet,
+        catalog,
+        CATALOG_DELAY_MIN,
+        120.0,
+        FleetPolicy.immediate_dyadic(),
+        workload,
+    )
+    oracle = serve_catalog(
+        catalog, CATALOG_DELAY_MIN, 120.0, policy="dyadic", workload=workload
+    )
+    assert report.peak_channels == oracle.peak_channels
+
+
+# ---------------------------------------------------------------------------
+# full sweep (script mode): writes BENCH_fleet.json
+# ---------------------------------------------------------------------------
+
+
+def _case(name: str, n: int, ref_s: float, fast_s: float, **extra) -> Dict:
+    row = {
+        "name": name,
+        "n": n,
+        "reference_seconds": round(ref_s, 6),
+        "fast_seconds": round(fast_s, 6),
+        "speedup": round(ref_s / fast_s, 2),
+        **extra,
+    }
+    print(
+        f"  {name:28s} n={n:>7d}  ref {ref_s:10.4f}s  "
+        f"fast {fast_s:10.6f}s  x{row['speedup']:.1f}"
+    )
+    return row
+
+
+def run_sweep() -> Dict:
+    rows: List[Dict] = []
+
+    # -- batched kernel vs the event queue, per policy family ---------------
+    for kind in ("immediate-dyadic", "batched-dyadic", "delay-guaranteed"):
+        for n in (10_000, 100_000):
+            trace, policy = _engine_pair(kind, n)
+            ref_s, ref_res = timeit_best(
+                lambda: simulate_event(ENGINE_L, trace, policy), repeats=1
+            )
+            fast_s, fast_res = timeit_best(
+                lambda: simulate_batched(ENGINE_L, trace, policy), repeats=3
+            )
+            assert_equivalent_run(ref_res, fast_res)
+            rows.append(
+                _case(f"engine_{kind}", len(trace), ref_s, fast_s, L=ENGINE_L)
+            )
+
+    # -- sharded catalog runner vs per-object event sims --------------------
+    catalog = Catalog.zipf(CATALOG_TITLES, duration_minutes=120.0)
+    workload = split_requests(
+        poisson(0.005, CATALOG_HORIZON_MIN, seed=23), catalog, seed=23
+    )
+    n_requests = sum(len(t) for t in workload.values())
+    ref_s, ref = timeit_best(
+        lambda: _reference_catalog_sweep(catalog, workload), repeats=1
+    )
+    fast_s, report = timeit_best(
+        lambda: run_fleet(
+            catalog,
+            CATALOG_DELAY_MIN,
+            CATALOG_HORIZON_MIN,
+            FleetPolicy.immediate_dyadic(),
+            workload,
+        ),
+        repeats=2,
+    )
+    ref_peak, ref_total = ref
+    assert report.peak_channels == ref_peak, (report.peak_channels, ref_peak)
+    assert abs(report.total_units_minutes - ref_total) <= 1e-6 * max(1.0, ref_total)
+    rows.append(
+        _case(
+            "fleet_runner_catalog",
+            n_requests,
+            ref_s,
+            fast_s,
+            objects=CATALOG_TITLES,
+        )
+    )
+
+    # Acceptance floor (ISSUE 4): >= 10x for the batched kernel at 10^5.
+    big = [r for r in rows if r["name"].startswith("engine_") and r["n"] >= 100_000]
+    assert big and all(r["speedup"] >= 10 for r in big), big
+
+    return {
+        "schema": "repro.fastpath.bench.v1",
+        "description": (
+            "Batched fleet engine: slot-sweep kernel vs the event-driven "
+            "Simulation per policy family, and the sharded catalog runner "
+            "vs per-object event sims.  Best-of-k wall clock; every pair "
+            "asserts full run equivalence (metrics, forests, clients) "
+            "in-run.  Floor: >= 10x at n = 10^5 for every engine case."
+        ),
+        "benchmarks": rows,
+    }
+
+
+def main() -> int:
+    print(
+        "fleet benchmark sweep "
+        "(runs the event-driven oracle at n = 10^5 per policy; ~1 minute)"
+    )
+    payload = run_sweep()
+    path = write_bench_json("fleet", payload)
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -6,6 +6,11 @@ Usage::
     python -m repro fig1
     python -m repro fig12 --save results/
     python -m repro all --save results/
+    python -m repro fleet --objects 120 --scenario flash
+
+``fleet`` is not a paper experiment but the catalog-scale serving +
+capacity-planning front end (see :mod:`repro.fleet.cli`); it takes its
+own options and is dispatched before the experiment parser runs.
 
 Each experiment prints the same rows/series the paper reports (see
 DESIGN.md for the experiment index and EXPERIMENTS.md for recorded
@@ -34,6 +39,10 @@ def _print_listing() -> None:
         exp = exps[exp_id]
         print(f"  {exp_id.ljust(width)}  {exp.title}  [{exp.paper_ref}]")
     print("\nRun one with: python -m repro <id>")
+    print(
+        "Catalog-scale serving and capacity planning: "
+        "python -m repro fleet --help"
+    )
 
 
 def _run_one(exp_id: str, save_dir: Optional[str]) -> None:
@@ -51,6 +60,13 @@ def _run_one(exp_id: str, save_dir: Optional[str]) -> None:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "fleet":
+        # The fleet front end owns its own option set; hand over before
+        # the experiment parser sees (and rejects) those flags.
+        from .fleet.cli import fleet_main
+
+        return fleet_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate tables/figures from Bar-Noy, Goshi & Ladner "

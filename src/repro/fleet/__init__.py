@@ -1,0 +1,76 @@
+"""Catalog-scale batched serving: slot-sweep kernel, sharded runner,
+capacity planning, and workload scenarios.
+
+See ``engine.py`` for the slot-sweep contract (which policies can skip
+the event queue and why), ``runner.py`` for the sharded catalog fan-out,
+``capacity.py`` for the delay-bandwidth frontier, and ``scenarios.py``
+for composable workload shapes.  ``python -m repro fleet`` ties them
+together.
+"""
+
+from .capacity import (
+    AdmissionReport,
+    FrontierPoint,
+    admission_report,
+    capacity_frontier,
+    default_delay_grid,
+    dg_fleet_peak,
+    min_fleet_delay,
+    min_object_delay,
+    render_frontier,
+)
+from .engine import (
+    SLOT_SWEEPABLE,
+    BatchedResult,
+    FleetPolicy,
+    assert_equivalent_run,
+    make_event_policy,
+    simulate_batched,
+    simulate_event,
+)
+from .runner import FleetObjectResult, FleetReport, fleet_profile, run_fleet
+from .scenarios import (
+    SCENARIOS,
+    Transformer,
+    compose,
+    constant_poisson_blend,
+    diurnal,
+    flash_crowd,
+    inject,
+    premiere_drop,
+    scenario_workload,
+    thinned,
+)
+
+__all__ = [
+    "AdmissionReport",
+    "BatchedResult",
+    "FleetObjectResult",
+    "FleetPolicy",
+    "FleetReport",
+    "FrontierPoint",
+    "SCENARIOS",
+    "SLOT_SWEEPABLE",
+    "Transformer",
+    "admission_report",
+    "assert_equivalent_run",
+    "capacity_frontier",
+    "compose",
+    "constant_poisson_blend",
+    "default_delay_grid",
+    "dg_fleet_peak",
+    "diurnal",
+    "flash_crowd",
+    "fleet_profile",
+    "inject",
+    "make_event_policy",
+    "min_fleet_delay",
+    "min_object_delay",
+    "premiere_drop",
+    "render_frontier",
+    "run_fleet",
+    "scenario_workload",
+    "simulate_batched",
+    "simulate_event",
+    "thinned",
+]

@@ -1,0 +1,262 @@
+"""Delay-bandwidth capacity planning for a catalog (Section 5 made exact).
+
+The paper closes on the provisioning trade-off: with the Delay Guaranteed
+algorithm "by increasing the guaranteed delay, we can ensure that we
+never go over the fixed maximum bandwidth and still never have to decline
+a client request".  The DG envelope is workload-independent, so for a
+fixed channel budget the smallest feasible delay is a pure search
+problem; this module runs it with bisection instead of the linear scan
+:func:`repro.multiplex.min_delay_for_budget` performs (kept as the
+oracle the tests compare against).
+
+Monotonicity caveat: the fleet DG peak is nonincreasing in the delay up
+to the ``L = round(duration / delay)`` rounding, which can produce
+plateaus but — on the geometric grids used here — no practically
+observed inversions.  The bisection assumes the predicate
+``peak(delay) <= budget`` is monotone on the grid; the returned delay is
+always *verified* feasible (the predicate was evaluated on it), so a
+rare inversion can only make the answer conservative, never infeasible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..multiplex.catalog import Catalog, MediaObject
+from ..multiplex.server import ObjectLoad, aggregate_peak, dg_object_load
+
+__all__ = [
+    "default_delay_grid",
+    "dg_fleet_peak",
+    "min_fleet_delay",
+    "min_object_delay",
+    "FrontierPoint",
+    "capacity_frontier",
+    "AdmissionReport",
+    "admission_report",
+    "render_frontier",
+]
+
+
+def default_delay_grid(
+    lo: float = 0.25, hi: float = 32.0, points: int = 22
+) -> List[float]:
+    """A geometric candidate-delay grid in minutes (lo and hi included)."""
+    if not 0 < lo < hi:
+        raise ValueError("need 0 < lo < hi")
+    return [float(d) for d in np.geomspace(lo, hi, points)]
+
+
+def _dg_loads(catalog: Catalog, delay: float, horizon: float) -> List[ObjectLoad]:
+    return [dg_object_load(obj, delay, horizon) for obj in catalog]
+
+
+def dg_fleet_peak(catalog: Catalog, delay_minutes: float, horizon_minutes: float) -> int:
+    """Fleet-wide DG envelope peak — deterministic, workload-independent."""
+    return aggregate_peak(_dg_loads(catalog, delay_minutes, horizon_minutes))
+
+
+def _bisect_smallest_feasible(
+    grid: Sequence[float], feasible
+) -> Optional[int]:
+    """Index of the smallest grid value with ``feasible(grid[i])`` true.
+
+    Classic predicate bisection (monotone assumption, see module
+    docstring): O(log len(grid)) predicate evaluations.
+    """
+    lo, hi = 0, len(grid) - 1
+    if not feasible(grid[hi]):
+        return None
+    if feasible(grid[lo]):
+        return lo
+    # invariant: grid[lo] infeasible, grid[hi] feasible
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if feasible(grid[mid]):
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
+def min_fleet_delay(
+    catalog: Catalog,
+    horizon_minutes: float,
+    budget_channels: int,
+    delays: Optional[Sequence[float]] = None,
+) -> Optional[float]:
+    """Smallest candidate delay whose fleet DG envelope fits the budget.
+
+    The bisection twin of :func:`repro.multiplex.min_delay_for_budget`
+    (same answer on the same grid, O(log) instead of O(grid) envelope
+    builds); returns None when even the largest candidate does not fit.
+    """
+    if budget_channels < 1:
+        raise ValueError("budget must be >= 1 channel")
+    grid = sorted(delays if delays is not None else default_delay_grid())
+    idx = _bisect_smallest_feasible(
+        grid,
+        lambda d: dg_fleet_peak(catalog, d, horizon_minutes) <= budget_channels,
+    )
+    return None if idx is None else grid[idx]
+
+
+def min_object_delay(
+    obj: MediaObject,
+    horizon_minutes: float,
+    budget_channels: int,
+    delays: Optional[Sequence[float]] = None,
+) -> Optional[float]:
+    """Smallest candidate delay for *one* object under a per-object budget."""
+    if budget_channels < 1:
+        raise ValueError("budget must be >= 1 channel")
+    grid = sorted(delays if delays is not None else default_delay_grid())
+    idx = _bisect_smallest_feasible(
+        grid,
+        lambda d: dg_object_load(obj, d, horizon_minutes).peak <= budget_channels,
+    )
+    return None if idx is None else grid[idx]
+
+
+@dataclass(frozen=True)
+class FrontierPoint:
+    """One point of the budget ↦ delay frontier."""
+
+    budget_channels: int
+    delay_minutes: Optional[float]  # None: infeasible even at the max delay
+    peak_channels: Optional[int]  # realised peak at that delay
+
+    @property
+    def feasible(self) -> bool:
+        return self.delay_minutes is not None
+
+
+def capacity_frontier(
+    catalog: Catalog,
+    horizon_minutes: float,
+    budgets: Sequence[int],
+    delays: Optional[Sequence[float]] = None,
+) -> List[FrontierPoint]:
+    """The frontier curve: per budget, the smallest feasible DG delay.
+
+    Budgets are processed in decreasing order so each bisection can reuse
+    the previous answer as a lower bracket (a smaller budget never admits
+    a smaller delay), trimming envelope builds on dense budget sweeps.
+    """
+    grid = sorted(delays if delays is not None else default_delay_grid())
+    peaks: dict = {}
+
+    def peak(d: float) -> int:
+        if d not in peaks:
+            peaks[d] = dg_fleet_peak(catalog, d, horizon_minutes)
+        return peaks[d]
+
+    points: List[FrontierPoint] = []
+    lo_idx = 0  # delays before the previous answer are already infeasible
+    for budget in sorted(set(int(b) for b in budgets), reverse=True):
+        sub = grid[lo_idx:]
+        idx = _bisect_smallest_feasible(sub, lambda d: peak(d) <= budget)
+        if idx is None:
+            points.append(FrontierPoint(budget, None, None))
+            lo_idx = len(grid) - 1  # every smaller budget is infeasible too
+        else:
+            d = sub[idx]
+            points.append(FrontierPoint(budget, d, peak(d)))
+            lo_idx = grid.index(d)
+    return sorted(points, key=lambda p: p.budget_channels)
+
+
+@dataclass(frozen=True)
+class AdmissionReport:
+    """What to do when the budget is infeasible even at the largest delay.
+
+    Objects are dropped least-popular-first until the remaining fleet
+    envelope fits; ``served_weight_fraction`` is the share of request
+    probability the admitted set still covers.
+    """
+
+    budget_channels: int
+    delay_minutes: float
+    feasible: bool
+    admitted: Tuple[str, ...]
+    dropped: Tuple[str, ...]
+    peak_channels: int
+    served_weight_fraction: float
+
+    def render(self) -> str:
+        status = "feasible" if self.feasible else "requires load shedding"
+        lines = [
+            f"admission report — budget={self.budget_channels} channels: {status}",
+            f"  delay={self.delay_minutes:g} min  peak={self.peak_channels}"
+            f"  admitted={len(self.admitted)}  dropped={len(self.dropped)}"
+            f"  served weight={self.served_weight_fraction:.1%}",
+        ]
+        if self.dropped:
+            lines.append("  dropped: " + ", ".join(self.dropped[:10]) + (
+                " ..." if len(self.dropped) > 10 else ""
+            ))
+        return "\n".join(lines)
+
+
+def admission_report(
+    catalog: Catalog,
+    horizon_minutes: float,
+    budget_channels: int,
+    delays: Optional[Sequence[float]] = None,
+) -> AdmissionReport:
+    """Feasibility verdict for a budget, with a shedding plan if needed.
+
+    If some candidate delay fits the whole catalog, report it (feasible,
+    nothing dropped).  Otherwise pin the delay at the grid maximum and
+    drop least-popular objects until the remaining envelope fits — the
+    DG guarantee then still holds for every *admitted* request.
+    """
+    grid = sorted(delays if delays is not None else default_delay_grid())
+    d = min_fleet_delay(catalog, horizon_minutes, budget_channels, grid)
+    if d is not None:
+        return AdmissionReport(
+            budget_channels=budget_channels,
+            delay_minutes=d,
+            feasible=True,
+            admitted=tuple(o.name for o in catalog),
+            dropped=(),
+            peak_channels=dg_fleet_peak(catalog, d, horizon_minutes),
+            served_weight_fraction=1.0,
+        )
+    d_max = grid[-1]
+    loads = {o.name: dg_object_load(o, d_max, horizon_minutes) for o in catalog}
+    by_popularity = sorted(catalog, key=lambda o: o.weight)  # least first
+    admitted = list(catalog.objects)
+    dropped: List[str] = []
+    peak = aggregate_peak([loads[o.name] for o in admitted])
+    for obj in by_popularity:
+        if peak <= budget_channels or len(admitted) == 1:
+            break
+        admitted = [o for o in admitted if o.name != obj.name]
+        dropped.append(obj.name)
+        peak = aggregate_peak([loads[o.name] for o in admitted])
+    return AdmissionReport(
+        budget_channels=budget_channels,
+        delay_minutes=d_max,
+        feasible=False,
+        admitted=tuple(o.name for o in admitted),
+        dropped=tuple(dropped),
+        peak_channels=peak,
+        served_weight_fraction=float(sum(o.weight for o in admitted)),
+    )
+
+
+def render_frontier(points: Sequence[FrontierPoint]) -> str:
+    """Text table of a budget ↦ delay frontier."""
+    lines = ["capacity frontier (DG envelope):", "  budget  min delay   peak"]
+    for p in points:
+        if p.feasible:
+            lines.append(
+                f"  {p.budget_channels:>6d}  {p.delay_minutes:>8.3g} m  {p.peak_channels:>5d}"
+            )
+        else:
+            lines.append(f"  {p.budget_channels:>6d}  infeasible      -")
+    return "\n".join(lines)

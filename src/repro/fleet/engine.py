@@ -1,0 +1,509 @@
+"""The batched slot-sweep simulation kernel.
+
+:class:`~repro.simulation.server.Simulation` drives every policy through
+a heap-ordered event queue: one Python callback per arrival, per slot
+end, and per stream end, plus a reschedule (now a lazy postpone) per
+Lemma 1 stream extension.  Since PR 3 every *policy decision* inside
+those callbacks is flat, so the queue itself — O(n log n) heap churn and
+O(n) Python frames — dominates every run.  This module retires the queue
+for the policies whose realised run is a pure function of the slotted
+trace, and keeps the event-driven ``Simulation`` as the oracle the
+equivalence tests (``tests/fleet/test_engine_equivalence.py``) replay
+against.
+
+Which policies are slot-sweepable, and why
+------------------------------------------
+
+A policy can be swept instead of simulated when its final merge forest
+and final stream lengths depend only on (a) the multiset of served slot
+ends (or raw arrival times for immediate policies) and (b) per-node
+quantities the flat forest already carries — the parent ``p(x)`` and the
+subtree's last arrival ``z(x)``.  Every stream's realised interval is
+then ``[x, x + len(x))`` with ``len`` the Lemma 1 value ``2 z - x - p``
+(roots: ``L``), because the event-driven server only ever *extends* a
+live stream monotonically toward exactly that value — the last extension
+wins, and the batched kernel evaluates it directly:
+
+* ``delay-guaranteed`` — forest is the static tiled Fibonacci template
+  over *all* slots (:func:`~repro.core.online.build_online_flat_forest`);
+* ``offline-optimal`` — the Theorem 10/12 forest over all slots
+  (:func:`~repro.core.full_cost.build_optimal_flat_forest`);
+* ``general-offline`` — the [6] optimum over the *served* slot ends
+  (:func:`~repro.fastpath.general.optimal_flat_forest_general`);
+* ``batched-dyadic`` — the (alpha, beta)-dyadic forest over served slot
+  ends (:func:`~repro.fastpath.dyadic.dyadic_flat_forest`, bit-identical
+  to the ``DyadicFlatOnline`` pushes the event policy performs);
+* ``immediate-dyadic`` — the dyadic forest over the raw arrival times;
+* ``pure-batching`` / ``unicast`` — every served slot end / every
+  arrival is a root of length ``L``.
+
+``HybridPolicy`` is **not** slot-sweepable and stays event-driven: its
+DG/dyadic mode bit is a stateful function of a sliding rate window with
+hysteresis, so the forest a slot contributes depends on the entire
+arrival prefix through the mode trajectory, not on the slot multiset —
+there is no closed-form flat construction to route through.  Any policy
+with feedback from realised load to structure (admission control,
+load-shedding) shares that fate.
+
+Exactness contract
+------------------
+
+Arrivals are bucketed with ``searchsorted`` against the *float* slot-end
+times the event loop itself uses (``(k+1) * slot``), so edge-of-slot
+arrivals land in exactly the slot the event ordering (SlotEnd < Arrival
+at equal timestamps) gives them.  Metrics and parent arrays are
+bit-identical to the event-driven run for ``slot`` values that are
+powers of two (including the default 1.0) — the same binary-exactness
+contract as ``fastpath.general`` — because then the per-policy scale
+conversions (``label / slot``, ``length * slot``) are exact in IEEE
+arithmetic.  On other slot values, deviations are confined to the last
+ULP of never-extended leaf stream lengths.
+
+The one observable difference by construction: the oracle's
+``BandwidthMetrics.intervals`` list is in stream *finish* order (end
+time, ties by extension sequence), while the kernel records intervals
+sorted by ``(end, start)``.  :func:`assert_equivalent_run` canonicalises
+both sides before comparing; every derived metric is order-independent.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..arrivals.traces import ArrivalTrace
+from ..baselines.dyadic import DyadicParams
+from ..core.full_cost import build_optimal_flat_forest
+from ..core.online import build_online_flat_forest
+from ..fastpath.dyadic import dyadic_flat_forest
+from ..fastpath.flat_forest import FlatForest
+from ..simulation.metrics import BandwidthMetrics
+from ..simulation.server import Simulation
+from ..simulation.verify import VerificationReport, verify_forest, verify_forest_continuous
+
+__all__ = [
+    "FleetPolicy",
+    "SLOT_SWEEPABLE",
+    "BatchedResult",
+    "simulate_batched",
+    "make_event_policy",
+    "simulate_event",
+    "assert_equivalent_run",
+]
+
+#: policy kinds the batched kernel accepts (see module docstring for why
+#: ``hybrid`` is absent).
+SLOT_SWEEPABLE = (
+    "delay-guaranteed",
+    "offline-optimal",
+    "general-offline",
+    "batched-dyadic",
+    "immediate-dyadic",
+    "pure-batching",
+    "unicast",
+)
+
+_IMMEDIATE = ("immediate-dyadic", "unicast")
+
+
+@dataclass(frozen=True)
+class FleetPolicy:
+    """A declarative policy spec the batched kernel can sweep.
+
+    The event-driven :mod:`repro.simulation.policies` classes are
+    callback objects; the kernel needs only the *kind* (plus dyadic
+    parameters), and :func:`make_event_policy` builds the matching
+    callback policy for oracle runs.
+    """
+
+    kind: str
+    params: Optional[DyadicParams] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in SLOT_SWEEPABLE:
+            raise ValueError(
+                f"unknown or non-sweepable policy kind {self.kind!r}; "
+                f"choose from {SLOT_SWEEPABLE} (hybrid policies are "
+                "load-feedback-dependent and must stay event-driven)"
+            )
+        if self.params is not None and "dyadic" not in self.kind:
+            raise ValueError(f"{self.kind} takes no dyadic params")
+
+    @property
+    def uses_slots(self) -> bool:
+        return self.kind not in _IMMEDIATE
+
+    # -- conveniences --------------------------------------------------------
+
+    @staticmethod
+    def delay_guaranteed() -> "FleetPolicy":
+        return FleetPolicy("delay-guaranteed")
+
+    @staticmethod
+    def offline_optimal() -> "FleetPolicy":
+        return FleetPolicy("offline-optimal")
+
+    @staticmethod
+    def general_offline() -> "FleetPolicy":
+        return FleetPolicy("general-offline")
+
+    @staticmethod
+    def batched_dyadic(params: Optional[DyadicParams] = None) -> "FleetPolicy":
+        return FleetPolicy("batched-dyadic", params)
+
+    @staticmethod
+    def immediate_dyadic(params: Optional[DyadicParams] = None) -> "FleetPolicy":
+        return FleetPolicy("immediate-dyadic", params)
+
+    @staticmethod
+    def pure_batching() -> "FleetPolicy":
+        return FleetPolicy("pure-batching")
+
+    @staticmethod
+    def unicast() -> "FleetPolicy":
+        return FleetPolicy("unicast")
+
+
+@dataclass
+class BatchedResult:
+    """Everything a batched run produces — flat arrays, no per-client objects.
+
+    The array twin of :class:`~repro.simulation.server.SimulationResult`:
+    ``client_node[i]`` indexes the stream node serving client ``i`` in
+    :attr:`forest` (-1 when the client was never served — only possible
+    for arrivals past the last slot end, which the event loop also leaves
+    unassigned), ``client_service[i]`` its service time (NaN when
+    unserved).
+    """
+
+    policy_name: str
+    L: int
+    slot: float
+    horizon: float
+    metrics: BandwidthMetrics
+    #: realised forest with labels on the simulation clock; None when the
+    #: run started no streams (empty trace under an arrival-driven policy)
+    forest: Optional[FlatForest]
+    #: per-node final stream lengths on the simulation clock
+    lengths: np.ndarray
+    client_arrival: np.ndarray
+    client_service: np.ndarray
+    client_node: np.ndarray
+    _paths: Optional[List[Tuple[float, ...]]] = field(default=None, repr=False)
+
+    def flat_forest(self) -> FlatForest:
+        """The realised merge forest (same contract as the event result)."""
+        if self.forest is None:
+            raise ValueError("run started no streams — nothing to reconstruct")
+        return self.forest
+
+    def max_startup_delay(self) -> float:
+        served = self.client_node >= 0
+        if not served.any():
+            return 0.0
+        return float(
+            np.max(self.client_service[served] - self.client_arrival[served])
+        )
+
+    def client_paths(self) -> List[Tuple[float, ...]]:
+        """Per-client receiving paths (root-first label tuples), lazily.
+
+        Shares tuple cells via ``FlatForest.paths``; unserved clients get
+        an empty tuple.
+        """
+        if self._paths is None:
+            node_paths = self.flat_forest().paths() if self.forest is not None else []
+            self._paths = [
+                node_paths[int(k)] if k >= 0 else () for k in self.client_node
+            ]
+        return self._paths
+
+    def verify(self, continuous: bool = False) -> VerificationReport:
+        """Replay-verify the realised forest, mirroring ``verify_simulation``.
+
+        Checks the forest replay, measured-vs-analytic bandwidth, and that
+        every client was assigned a node that exists in the forest.
+        """
+        flat = self.flat_forest()
+        report = (
+            verify_forest_continuous(flat, self.L)
+            if continuous
+            else verify_forest(flat, self.L)
+        )
+        measured = self.metrics.total_units
+        analytic = flat.full_cost(self.L)
+        report.record(
+            abs(measured - analytic) <= 1e-6 * max(1.0, abs(analytic)),
+            f"measured bandwidth {measured} != analytic full cost {analytic}",
+        )
+        report.record(
+            bool((self.client_node >= 0).all()),
+            "some clients were never served",
+        )
+        return report
+
+
+def _served_slots(
+    times: np.ndarray, slot_ends: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """``(client_slot, served_idx)`` via searchsorted pre-bucketing.
+
+    ``client_slot[i]`` is the slot whose end serves arrival ``i`` under
+    the event ordering (SlotEnd fires before an Arrival at the same
+    timestamp, so an arrival exactly on a boundary belongs to the *next*
+    slot — ``side="right"`` against the float end times encodes that
+    rule exactly).  ``served_idx`` is the sorted set of non-empty slots.
+    """
+    client_slot = np.searchsorted(slot_ends, times, side="right")
+    # Arrivals past the last slot end are never flushed by any SlotEnd —
+    # the event loop leaves them parked forever; mirror that as -1.
+    client_slot = np.where(client_slot >= slot_ends.size, -1, client_slot)
+    served_idx = np.unique(client_slot[client_slot >= 0])
+    return client_slot, served_idx
+
+
+def _metrics_from_arrays(
+    L: int,
+    n_clients: int,
+    starts: np.ndarray,
+    ends: np.ndarray,
+    is_root: np.ndarray,
+) -> BandwidthMetrics:
+    """A ``BandwidthMetrics`` carrying the batched intervals.
+
+    Intervals are recorded in ``(end, start)`` order — the deterministic
+    stand-in for the oracle's finish order (ties there depend on
+    extension sequence numbers; all derived metrics are order-free).
+    """
+    metrics = BandwidthMetrics(L=L)
+    order = np.lexsort((starts, ends))
+    metrics.intervals = list(
+        zip(starts[order].tolist(), ends[order].tolist())
+    )
+    metrics.streams_started = int(starts.size)
+    metrics.roots_started = int(np.count_nonzero(is_root))
+    metrics.clients_served = n_clients
+    return metrics
+
+
+def simulate_batched(
+    L: int,
+    trace: ArrivalTrace,
+    policy: FleetPolicy,
+    slot: float = 1.0,
+) -> BatchedResult:
+    """Run one slot-sweepable policy without an event queue.
+
+    The batched equivalent of ``Simulation(L, trace, policy, slot).run()``
+    for every kind in :data:`SLOT_SWEEPABLE` — same metrics, same flat
+    forest (see the module docstring for the exactness contract).
+    """
+    if L < 1:
+        raise ValueError(f"L must be >= 1, got {L}")
+    if slot <= 0:
+        raise ValueError(f"slot must be positive, got {slot}")
+    times = np.asarray(trace.times, dtype=np.float64)
+    n_clients = times.size
+    kind = policy.kind
+    params = policy.params or DyadicParams()
+
+    if policy.uses_slots:
+        nslots = trace.num_slots(slot)
+        # The exact float end times the event loop schedules SlotEnd at.
+        slot_ends = np.arange(1, nslots + 1, dtype=np.float64) * slot
+        client_slot, served_idx = _served_slots(times, slot_ends)
+        served_ends = slot_ends[served_idx]
+    else:
+        client_slot = served_idx = served_ends = None  # type: ignore[assignment]
+
+    forest: Optional[FlatForest] = None
+    lengths = np.empty(0, dtype=np.float64)
+    client_node = np.full(n_clients, -1, dtype=np.intp)
+    client_service = np.full(n_clients, math.nan, dtype=np.float64)
+
+    if kind == "delay-guaranteed":
+        # Static tiled Fibonacci template over *every* slot; the sim works
+        # in the scaled frame throughout, so build z/lengths there too.
+        parent = build_online_flat_forest(L, nslots).parent
+        forest = FlatForest(slot_ends, parent)
+        lengths = forest.stream_lengths(L * slot)
+        client_node = np.where(client_slot >= 0, client_slot, -1)
+
+    elif kind == "offline-optimal":
+        flat_units = build_optimal_flat_forest(L, nslots)
+        forest = FlatForest(slot_ends, flat_units.parent)
+        lengths = flat_units.stream_lengths(L) * slot
+        client_node = np.where(client_slot >= 0, client_slot, -1)
+
+    elif kind == "general-offline":
+        if served_idx.size == 0:
+            raise ValueError("need at least one served slot")
+        from ..fastpath.general import optimal_flat_forest_general
+
+        push_vals = served_ends / slot  # the event policy's `label / scale`
+        flat_units = optimal_flat_forest_general(push_vals.tolist(), L)
+        forest = FlatForest(served_ends, flat_units.parent)
+        lengths = flat_units.stream_lengths(L) * slot
+        client_node = _nodes_among_served(client_slot, served_idx)
+
+    elif kind == "batched-dyadic":
+        if served_idx.size:
+            push_vals = served_ends / slot
+            flat_units = dyadic_flat_forest(push_vals, L, params)
+            forest = FlatForest(served_ends, flat_units.parent)
+            lengths = flat_units.stream_lengths(L) * slot
+        client_node = _nodes_among_served(client_slot, served_idx)
+
+    elif kind == "pure-batching":
+        if served_idx.size:
+            forest = FlatForest(
+                served_ends, np.full(served_idx.size, -1, dtype=np.intp)
+            )
+            lengths = np.full(served_idx.size, L * slot, dtype=np.float64)
+        client_node = _nodes_among_served(client_slot, served_idx)
+
+    elif kind == "immediate-dyadic":
+        if n_clients:
+            forest = dyadic_flat_forest(times, L, params)
+            lengths = forest.stream_lengths(L)
+        client_node = np.arange(n_clients, dtype=np.intp)
+        client_service = times.copy()
+
+    elif kind == "unicast":
+        if n_clients:
+            forest = FlatForest(times, np.full(n_clients, -1, dtype=np.intp))
+            lengths = np.full(n_clients, float(L), dtype=np.float64)
+        client_node = np.arange(n_clients, dtype=np.intp)
+        client_service = times.copy()
+
+    if policy.uses_slots:
+        served = client_slot >= 0
+        client_service = np.where(
+            served, slot_ends[np.maximum(client_slot, 0)], math.nan
+        )
+        client_node = np.where(served, client_node, -1)
+
+    if forest is not None:
+        starts = forest.arrivals
+        is_root = forest.is_root
+        metrics = _metrics_from_arrays(
+            L, n_clients, starts, starts + lengths, is_root
+        )
+    else:
+        metrics = BandwidthMetrics(L=L)
+        metrics.clients_served = n_clients
+
+    return BatchedResult(
+        policy_name=kind,
+        L=L,
+        slot=slot,
+        horizon=trace.horizon,
+        metrics=metrics,
+        forest=forest,
+        lengths=lengths,
+        client_arrival=times,
+        client_service=client_service,
+        client_node=client_node,
+    )
+
+
+def _nodes_among_served(
+    client_slot: np.ndarray, served_idx: np.ndarray
+) -> np.ndarray:
+    """Map each client's slot to its node index among the served slots."""
+    node = np.searchsorted(served_idx, np.maximum(client_slot, 0))
+    return np.where(client_slot >= 0, node, -1).astype(np.intp)
+
+
+# ---------------------------------------------------------------------------
+# Oracle pairing: the matching event-driven run
+# ---------------------------------------------------------------------------
+
+
+def make_event_policy(policy: FleetPolicy, L: int, trace: ArrivalTrace, slot: float = 1.0):
+    """The event-driven :class:`~repro.simulation.policies.Policy` that
+    realises the same run ``simulate_batched`` sweeps — the oracle half
+    of every equivalence test and benchmark."""
+    from ..simulation.policies import (
+        BatchedDyadicPolicy,
+        DelayGuaranteedPolicy,
+        GeneralOfflinePolicy,
+        ImmediateDyadicPolicy,
+        OfflineOptimalPolicy,
+        PureBatchingPolicy,
+        UnicastPolicy,
+    )
+
+    kind = policy.kind
+    if kind == "delay-guaranteed":
+        return DelayGuaranteedPolicy(L)
+    if kind == "offline-optimal":
+        return OfflineOptimalPolicy(L, trace.num_slots(slot))
+    if kind == "general-offline":
+        ends = [t / slot for t in trace.slot_end_times(slot)]
+        return GeneralOfflinePolicy(L, ends)
+    if kind == "batched-dyadic":
+        return BatchedDyadicPolicy(L, policy.params)
+    if kind == "immediate-dyadic":
+        return ImmediateDyadicPolicy(L, policy.params)
+    if kind == "pure-batching":
+        return PureBatchingPolicy(L)
+    if kind == "unicast":
+        return UnicastPolicy(L)
+    raise ValueError(f"no event policy for {kind!r}")  # pragma: no cover
+
+
+def simulate_event(
+    L: int, trace: ArrivalTrace, policy: FleetPolicy, slot: float = 1.0
+):
+    """Run the event-driven oracle for a :class:`FleetPolicy` spec."""
+    return Simulation(L, trace, make_event_policy(policy, L, trace, slot), slot).run()
+
+
+def assert_equivalent_run(event_result, batched: BatchedResult) -> None:
+    """Assert an event-driven run and a batched run realised the same system.
+
+    Canonical comparison (used by tests *and* asserted inside benchmark
+    runs): identical metric counters, identical sorted interval arrays,
+    identical total bandwidth, identical flat-forest labels and parent
+    arrays, and identical per-client service times / serving labels.
+    """
+    em, bm = event_result.metrics, batched.metrics
+    assert em.L == bm.L, (em.L, bm.L)
+    assert em.streams_started == bm.streams_started, "streams_started differ"
+    assert em.roots_started == bm.roots_started, "roots_started differ"
+    assert em.clients_served == bm.clients_served, "clients_served differ"
+
+    ea = np.asarray(em.intervals, dtype=np.float64).reshape(-1, 2)
+    ba = np.asarray(bm.intervals, dtype=np.float64).reshape(-1, 2)
+    e_order = np.lexsort((ea[:, 0], ea[:, 1])) if ea.size else slice(None)
+    assert np.array_equal(ea[e_order], ba), "interval multisets differ"
+    # The multisets are identical, so totals agree up to summation order
+    # (bit-identical on slotted runs, last-ULP on continuous float traces).
+    et, bt = float(em.total_units), float(bm.total_units)
+    assert abs(et - bt) <= 1e-9 * max(1.0, abs(bt)), "total bandwidth differs"
+
+    if event_result.streams:
+        ef, bf = event_result.flat_forest(), batched.flat_forest()
+        assert np.array_equal(ef.arrivals, bf.arrivals), "stream labels differ"
+        assert np.array_equal(ef.parent, bf.parent), "parent arrays differ"
+    else:
+        assert batched.forest is None, "batched run invented streams"
+
+    served_labels = {}
+    if batched.forest is not None:
+        labels = batched.forest.arrivals
+        served_labels = {
+            i: labels[int(k)] for i, k in enumerate(batched.client_node) if k >= 0
+        }
+    assert len(event_result.clients) == batched.client_arrival.size
+    for i, client in enumerate(event_result.clients):
+        if client.tree_label is None:
+            assert i not in served_labels, f"client {i} served only in batch"
+            continue
+        assert client.tree_label == served_labels.get(i), f"client {i} label"
+        assert client.service_time == batched.client_service[i], f"client {i} service"
+        assert client.path == batched.client_paths()[i], f"client {i} path"

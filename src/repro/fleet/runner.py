@@ -1,0 +1,317 @@
+"""Sharded catalog runner: one batched kernel run per media object.
+
+The fleet question the paper's Section 5 poses — how many channels does a
+*catalog* need for a given delay guarantee — multiplies one-trace
+simulation by the catalog size.  This module fans a multi-object workload
+across worker processes (one :func:`~repro.fleet.engine.simulate_batched`
+run per object, each in slot units of its own delay) and aggregates the
+flat interval arrays into fleet-wide peak and profile.
+
+Memory contract: workers return only per-object *summaries* plus the
+stream interval arrays (O(streams), not O(requests)); per-client arrays
+never leave the worker, and results are folded into the report as they
+stream back — a 10^6-request catalog holds at most one object's client
+arrays in memory at a time (per worker).
+
+Workloads come in two forms:
+
+* an explicit per-object trace mapping (minutes), e.g. from
+  :func:`repro.multiplex.split_requests` or the scenario library;
+* generated in-worker: each object draws its own Poisson trace with rate
+  ``global_rate * weight`` (the thinning property makes this the same
+  process as splitting one global stream) from a per-object seed spawned
+  off the base seed — the parent never materialises the global trace.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..arrivals.generators import poisson
+from ..arrivals.traces import ArrivalTrace
+from ..multiplex.catalog import Catalog, MediaObject
+from ..simulation.channels import interval_profile, peak_concurrency
+from .engine import FleetPolicy, simulate_batched
+
+__all__ = [
+    "FleetObjectResult",
+    "FleetReport",
+    "run_fleet",
+    "fleet_profile",
+]
+
+_EMPTY = np.empty(0, dtype=np.float64)
+
+
+@dataclass(frozen=True)
+class FleetObjectResult:
+    """One object's run, reduced to what fleet aggregation needs.
+
+    ``starts``/``ends`` are the stream occupancy intervals in *minutes*
+    on the common catalog timeline (the per-object slot is the delay).
+    """
+
+    name: str
+    L: int
+    delay_minutes: float
+    clients: int
+    streams: int
+    roots: int
+    total_units_minutes: float
+    max_startup_delay_minutes: float
+    starts: np.ndarray
+    ends: np.ndarray
+
+    @property
+    def peak(self) -> int:
+        return peak_concurrency(self.starts, self.ends)
+
+
+@dataclass
+class FleetReport:
+    """Catalog-wide aggregation of batched runs."""
+
+    policy: str
+    delay_minutes: float
+    horizon_minutes: float
+    objects: List[FleetObjectResult] = field(default_factory=list)
+
+    def _stacked(self) -> Tuple[np.ndarray, np.ndarray]:
+        if not self.objects:
+            return _EMPTY, _EMPTY
+        starts = np.concatenate([o.starts for o in self.objects])
+        ends = np.concatenate([o.ends for o in self.objects])
+        return starts, ends
+
+    @property
+    def peak_channels(self) -> int:
+        """Exact fleet-wide peak of simultaneously live streams."""
+        starts, ends = self._stacked()
+        return peak_concurrency(starts, ends)
+
+    @property
+    def total_units_minutes(self) -> float:
+        return float(sum(o.total_units_minutes for o in self.objects))
+
+    @property
+    def clients(self) -> int:
+        return sum(o.clients for o in self.objects)
+
+    @property
+    def streams(self) -> int:
+        return sum(o.streams for o in self.objects)
+
+    def max_startup_delay_minutes(self) -> float:
+        return max(
+            (o.max_startup_delay_minutes for o in self.objects), default=0.0
+        )
+
+    def profile(
+        self, t0: float = 0.0, t1: Optional[float] = None, resolution: float = 1.0
+    ) -> np.ndarray:
+        starts, ends = self._stacked()
+        return fleet_profile(
+            starts,
+            ends,
+            t0,
+            self.horizon_minutes if t1 is None else t1,
+            resolution,
+        )
+
+    def busiest_objects(self, k: int = 5) -> List[FleetObjectResult]:
+        return sorted(self.objects, key=lambda o: -o.total_units_minutes)[:k]
+
+    def render(self, top: int = 5) -> str:
+        lines = [
+            f"fleet report — policy={self.policy}  delay={self.delay_minutes:g} min"
+            f"  horizon={self.horizon_minutes:g} min",
+            f"  objects={len(self.objects)}  clients={self.clients}"
+            f"  streams={self.streams}",
+            f"  peak channels={self.peak_channels}"
+            f"  total bandwidth={self.total_units_minutes:,.0f} stream-minutes",
+            f"  max start-up delay={self.max_startup_delay_minutes():g} min",
+            f"  busiest {top}:",
+        ]
+        for o in self.busiest_objects(top):
+            lines.append(
+                f"    {o.name:12s} clients={o.clients:>7d} streams={o.streams:>6d} "
+                f"peak={o.peak:>4d} units={o.total_units_minutes:>12,.0f} min"
+            )
+        return "\n".join(lines)
+
+
+def fleet_profile(
+    starts: np.ndarray,
+    ends: np.ndarray,
+    t0: float,
+    t1: float,
+    resolution: float,
+) -> np.ndarray:
+    """Per-bin live-stream counts on ``[t0, t1)`` (bin-occupancy rule).
+
+    Same semantics as :func:`repro.multiplex.aggregate_profile` — both
+    delegate to the shared kernel
+    :func:`repro.simulation.channels.interval_profile` — but takes
+    stacked interval arrays directly so incremental accumulators need no
+    ``ObjectLoad`` objects.
+    """
+    return interval_profile(starts, ends, t0, t1, resolution)
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+
+def _simulate_object(
+    obj: MediaObject,
+    times_minutes: np.ndarray,
+    delay_minutes: float,
+    horizon_minutes: float,
+    policy: FleetPolicy,
+) -> FleetObjectResult:
+    """One object's batched run, in slot units of its delay guarantee."""
+    L = obj.units(delay_minutes)
+    ts = np.asarray(times_minutes, dtype=np.float64) / delay_minutes
+    if ts.size == 0 and policy.kind == "general-offline":
+        # The general-arrivals optimum is undefined over zero served
+        # slots (the engine and the event policy both raise); a quiet
+        # object simply contributes nothing to the fleet.
+        return FleetObjectResult(
+            name=obj.name,
+            L=L,
+            delay_minutes=delay_minutes,
+            clients=0,
+            streams=0,
+            roots=0,
+            total_units_minutes=0.0,
+            max_startup_delay_minutes=0.0,
+            starts=_EMPTY,
+            ends=_EMPTY,
+        )
+    horizon_slots = horizon_minutes / delay_minutes
+    if ts.size and ts[-1] >= horizon_slots:
+        # Float division can push the last arrival onto the horizon; the
+        # trace contract is arrivals strictly inside [0, horizon).
+        horizon_slots = float(np.nextafter(ts[-1], np.inf))
+    trace = ArrivalTrace(times=tuple(ts.tolist()), horizon=horizon_slots)
+    result = simulate_batched(L, trace, policy, slot=1.0)
+    if result.forest is None:
+        starts = ends = _EMPTY
+        roots = 0
+    else:
+        starts = result.forest.arrivals * delay_minutes
+        ends = (result.forest.arrivals + result.lengths) * delay_minutes
+        roots = result.metrics.roots_started
+    return FleetObjectResult(
+        name=obj.name,
+        L=L,
+        delay_minutes=delay_minutes,
+        clients=int(ts.size),
+        streams=int(starts.size),
+        roots=roots,
+        total_units_minutes=float(np.sum(ends - starts)),
+        max_startup_delay_minutes=result.max_startup_delay() * delay_minutes,
+        starts=starts,
+        ends=ends,
+    )
+
+
+def _run_shard(args) -> FleetObjectResult:
+    """Module-level worker entry (picklable for process pools)."""
+    obj, times, seed_seq, mean_gap, delay, horizon, policy = args
+    if times is None:
+        # In-worker thinned generation: this object's share of the global
+        # Poisson stream, from its own spawned SeedSequence (shipped
+        # whole — entropy alone would drop the spawn key and give every
+        # object the same stream).
+        rng = np.random.default_rng(seed_seq)
+        trace = poisson(mean_gap / obj.weight, horizon, seed=rng)
+        times = np.asarray(trace.times, dtype=np.float64)
+    return _simulate_object(obj, times, delay, horizon, policy)
+
+
+def _shard_args(
+    catalog: Catalog,
+    workload: Optional[Dict[str, ArrivalTrace]],
+    mean_interarrival_minutes: Optional[float],
+    delay_minutes: float,
+    horizon_minutes: float,
+    policy: FleetPolicy,
+    seed,
+) -> Iterable[tuple]:
+    if workload is None:
+        if mean_interarrival_minutes is None:
+            raise ValueError(
+                "need either a workload mapping or mean_interarrival_minutes "
+                "for in-worker generation"
+            )
+        children = np.random.SeedSequence(seed).spawn(len(catalog))
+        for obj, child in zip(catalog, children):
+            yield (
+                obj,
+                None,
+                child,
+                mean_interarrival_minutes,
+                delay_minutes,
+                horizon_minutes,
+                policy,
+            )
+    else:
+        for obj in catalog:
+            trace = workload.get(obj.name)
+            times = (
+                _EMPTY
+                if trace is None
+                else np.asarray(trace.times, dtype=np.float64)
+            )
+            yield (obj, times, None, None, delay_minutes, horizon_minutes, policy)
+
+
+def run_fleet(
+    catalog: Catalog,
+    delay_minutes: float,
+    horizon_minutes: float,
+    policy: Optional[FleetPolicy] = None,
+    workload: Optional[Dict[str, ArrivalTrace]] = None,
+    mean_interarrival_minutes: Optional[float] = None,
+    seed=None,
+    workers: int = 0,
+) -> FleetReport:
+    """Serve a whole catalog through the batched kernel, optionally sharded.
+
+    ``workers <= 1`` runs in-process (deterministic, no pool overhead);
+    larger values fan objects across a process pool.  Results are folded
+    into the report in catalog order as they complete, so output is
+    independent of worker count — ``tests/fleet/test_runner.py`` asserts
+    byte-identical reports for ``workers=0`` and ``workers=2``.
+    """
+    if delay_minutes <= 0 or horizon_minutes <= 0:
+        raise ValueError("delay and horizon must be positive")
+    policy = policy or FleetPolicy.batched_dyadic()
+    report = FleetReport(
+        policy=policy.kind,
+        delay_minutes=delay_minutes,
+        horizon_minutes=horizon_minutes,
+    )
+    args = _shard_args(
+        catalog,
+        workload,
+        mean_interarrival_minutes,
+        delay_minutes,
+        horizon_minutes,
+        policy,
+        seed,
+    )
+    if workers and workers > 1:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            for result in pool.map(_run_shard, args, chunksize=4):
+                report.objects.append(result)
+    else:
+        for shard in args:
+            report.objects.append(_run_shard(shard))
+    return report

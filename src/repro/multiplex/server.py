@@ -31,6 +31,7 @@ from ..fastpath.dyadic import dyadic_flat_forest
 from ..simulation.channels import (
     StreamInterval,
     flat_forest_intervals,
+    interval_profile,
     peak_concurrency,
 )
 from .catalog import Catalog, MediaObject
@@ -200,22 +201,12 @@ def aggregate_profile(
     with ``ceil`` on both edges sub-resolution streams vanished entirely
     and the profile *under*-reported the true peak.
 
-    Implemented as one ``np.add.at`` difference array over the stacked
+    Implemented by the shared difference-array kernel
+    :func:`repro.simulation.channels.interval_profile` over the stacked
     interval arrays — no per-stream Python objects.
     """
-    if t1 <= t0 or resolution <= 0:
-        raise ValueError("need t1 > t0 and positive resolution")
-    nbins = int(np.ceil((t1 - t0) / resolution))
-    diff = np.zeros(nbins + 1, dtype=np.int64)
     starts, ends = _stacked_intervals(loads)
-    lo_t = np.maximum(starts, t0)
-    hi_t = np.minimum(ends, t1)
-    visible = hi_t > lo_t
-    lo = np.floor((lo_t[visible] - t0) / resolution).astype(np.int64)
-    hi = np.ceil((hi_t[visible] - t0) / resolution).astype(np.int64)
-    np.add.at(diff, lo, 1)
-    np.add.at(diff, hi, -1)
-    return np.cumsum(diff[:-1])
+    return interval_profile(starts, ends, t0, t1, resolution)
 
 
 @dataclass

@@ -8,7 +8,9 @@ property), which the tests confirm statistically.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict
+
+import numpy as np
 
 from ..arrivals.generators import SeedLike, poisson, rng_from
 from ..arrivals.traces import ArrivalTrace
@@ -23,15 +25,23 @@ def split_requests(
     """Assign each request in ``trace`` to a catalog object by popularity.
 
     Returns a per-object trace on the same horizon (possibly empty).
+    The RNG draw is one ``choice`` over the whole trace (unchanged from
+    the original loop implementation, so seeds reproduce byte-identical
+    workloads); the bucketing is a stable argsort/group-boundary pass —
+    within each object the stable sort preserves arrival order, so each
+    sub-trace stays strictly increasing.
     """
     rng = rng_from(seed)
     picks = rng.choice(len(catalog), size=len(trace), p=catalog.weights())
-    buckets: Dict[str, List[float]] = {o.name: [] for o in catalog}
-    for t, k in zip(trace, picks):
-        buckets[catalog[int(k)].name].append(t)
+    times = np.asarray(trace.times, dtype=np.float64)
+    order = np.argsort(picks, kind="stable")
+    bounds = np.searchsorted(picks[order], np.arange(len(catalog) + 1))
     return {
-        name: ArrivalTrace(times=tuple(times), horizon=trace.horizon)
-        for name, times in buckets.items()
+        obj.name: ArrivalTrace(
+            times=tuple(times[order[bounds[k] : bounds[k + 1]]].tolist()),
+            horizon=trace.horizon,
+        )
+        for k, obj in enumerate(catalog)
     }
 
 

@@ -16,7 +16,7 @@ multiplex extension (Section 5 future work) asks.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -31,6 +31,7 @@ __all__ = [
     "assign_channels_flat",
     "forest_intervals",
     "flat_forest_intervals",
+    "interval_profile",
     "peak_concurrency",
     "min_forest_channels",
     "assign_forest_channels",
@@ -57,9 +58,17 @@ class StreamInterval:
         return self.end - self.start
 
 
-@dataclass
 class ChannelAssignment:
     """Streams mapped to numbered channels.
+
+    Two storage modes, one API.  The heap oracle (:func:`assign_channels`)
+    builds the per-channel ``StreamInterval`` lists directly; the flat
+    constructors (:meth:`from_arrays`, used by
+    :func:`assign_forest_channels`) keep only parallel numpy arrays —
+    labels, starts, ends, per-stream channel index — and materialise the
+    object lists lazily behind the :attr:`channels` property, so
+    provisioning sweeps that only read ``num_channels`` / ``channel_of``
+    / ``utilisation`` never allocate a single interval object.
 
     Treated as immutable once built (the constructors in this module
     finish all appends before handing the object out); ``channel_of``
@@ -67,21 +76,75 @@ class ChannelAssignment:
     channel per query.
     """
 
-    channels: List[List[StreamInterval]] = field(default_factory=list)
-    #: lazy label -> channel index, built on first ``channel_of`` call
-    _label_index: Optional[Dict[float, int]] = field(
-        default=None, init=False, repr=False, compare=False
-    )
+    def __init__(
+        self, channels: Optional[List[List[StreamInterval]]] = None
+    ) -> None:
+        self._channels: Optional[List[List[StreamInterval]]] = (
+            channels if channels is not None else []
+        )
+        self._arrays: Optional[Tuple[np.ndarray, ...]] = None
+        self._n_channels: Optional[int] = None
+        #: lazy label -> channel index, built on first ``channel_of`` call
+        self._label_index: Optional[Dict[float, int]] = None
+
+    @classmethod
+    def from_arrays(
+        cls,
+        labels: np.ndarray,
+        starts: np.ndarray,
+        ends: np.ndarray,
+        channel: np.ndarray,
+    ) -> "ChannelAssignment":
+        """Array-backed assignment (``channel[i]`` hosts stream ``i``)."""
+        out = cls()
+        out._channels = None
+        out._arrays = (
+            np.asarray(labels, dtype=np.float64),
+            np.asarray(starts, dtype=np.float64),
+            np.asarray(ends, dtype=np.float64),
+            np.asarray(channel, dtype=np.intp),
+        )
+        out._n_channels = int(channel.max()) + 1 if len(channel) else 0
+        return out
+
+    @property
+    def channels(self) -> List[List[StreamInterval]]:
+        """Per-channel interval lists, each in start order (lazy)."""
+        if self._channels is None:
+            labels, starts, ends, ch = self._arrays
+            built: List[List[StreamInterval]] = [
+                [] for _ in range(self._n_channels)
+            ]
+            order = np.lexsort((ends, starts))
+            lab, st, en = labels.tolist(), starts.tolist(), ends.tolist()
+            for i in order.tolist():
+                built[int(ch[i])].append(
+                    StreamInterval(
+                        label=_as_int_if_exact(lab[i]), start=st[i], end=en[i]
+                    )
+                )
+            self._channels = built
+        return self._channels
 
     @property
     def num_channels(self) -> int:
-        return len(self.channels)
+        if self._channels is None:
+            return self._n_channels
+        return len(self._channels)
 
     def channel_of(self, label: float) -> int:
         if self._label_index is None:
-            self._label_index = {
-                s.label: idx for idx, ch in enumerate(self.channels) for s in ch
-            }
+            if self._channels is None:
+                labels, _s, _e, ch = self._arrays
+                self._label_index = dict(
+                    zip(labels.tolist(), ch.tolist())
+                )
+            else:
+                self._label_index = {
+                    s.label: idx
+                    for idx, ch in enumerate(self._channels)
+                    for s in ch
+                }
         try:
             return self._label_index[label]
         except KeyError:
@@ -94,19 +157,42 @@ class ChannelAssignment:
         end), so each interval is clipped to ``[0, horizon)`` before
         summing — the fraction is always in ``[0, 1]``.
         """
-        if horizon <= 0 or not self.channels:
+        if horizon <= 0 or self.num_channels == 0:
             return 0.0
-        busy = sum(
-            max(0.0, min(s.end, horizon) - max(s.start, 0.0))
-            for ch in self.channels
-            for s in ch
-        )
+        if self._channels is None:
+            _labels, starts, ends, _ch = self._arrays
+            busy = float(
+                np.sum(
+                    np.maximum(
+                        0.0,
+                        np.minimum(ends, horizon) - np.maximum(starts, 0.0),
+                    )
+                )
+            )
+        else:
+            busy = sum(
+                max(0.0, min(s.end, horizon) - max(s.start, 0.0))
+                for ch in self._channels
+                for s in ch
+            )
         return busy / (self.num_channels * horizon)
 
     def validate(self) -> None:
         """No two streams on one channel may overlap."""
-        for idx, ch in enumerate(self.channels):
-            ordered = sorted(ch, key=lambda s: s.start)
+        if self._channels is None:
+            labels, starts, ends, ch = self._arrays
+            order = np.lexsort((starts, ch))
+            same = ch[order][1:] == ch[order][:-1]
+            clash = same & (starts[order][1:] < ends[order][:-1])
+            if clash.any():
+                j = int(np.nonzero(clash)[0][0])
+                a, b = order[j], order[j + 1]
+                raise AssertionError(
+                    f"channel {int(ch[a])}: {labels[a]} and {labels[b]} overlap"
+                )
+            return
+        for idx, ch_list in enumerate(self._channels):
+            ordered = sorted(ch_list, key=lambda s: s.start)
             for a, b in zip(ordered, ordered[1:]):
                 if b.start < a.end:
                     raise AssertionError(
@@ -249,6 +335,37 @@ def flat_forest_intervals(
     return as_flat_forest(forest).intervals(L)
 
 
+def interval_profile(
+    starts: np.ndarray,
+    ends: np.ndarray,
+    t0: float,
+    t1: float,
+    resolution: float,
+) -> np.ndarray:
+    """Per-bin live-interval counts on ``[t0, t1)`` (bin-occupancy rule).
+
+    Bin ``b`` covers ``[t0 + b*r, t0 + (b+1)*r)`` and counts every
+    interval live during *any part* of it — ``floor`` for the low edge,
+    ``ceil`` for the high edge — so a stream touching a bin is charged
+    for the whole bin and the profile max never under-reports the true
+    peak.  One ``np.add.at`` difference-array pass; the single shared
+    kernel behind ``multiplex.aggregate_profile`` and
+    ``fleet.fleet_profile``.
+    """
+    if t1 <= t0 or resolution <= 0:
+        raise ValueError("need t1 > t0 and positive resolution")
+    nbins = int(np.ceil((t1 - t0) / resolution))
+    diff = np.zeros(nbins + 1, dtype=np.int64)
+    lo_t = np.maximum(starts, t0)
+    hi_t = np.minimum(ends, t1)
+    visible = hi_t > lo_t
+    lo = np.floor((lo_t[visible] - t0) / resolution).astype(np.int64)
+    hi = np.ceil((hi_t[visible] - t0) / resolution).astype(np.int64)
+    np.add.at(diff, lo, 1)
+    np.add.at(diff, hi, -1)
+    return np.cumsum(diff[:-1])
+
+
 def peak_concurrency(starts: np.ndarray, ends: np.ndarray) -> int:
     """Peak number of concurrently live half-open intervals, vectorised.
 
@@ -281,20 +398,17 @@ def assign_forest_channels(
 ) -> ChannelAssignment:
     """Channel plan for a merge forest; count == peak concurrency.
 
-    The schedule itself comes from the vectorised
-    :func:`assign_channels_flat`; only the rendered per-channel
-    ``StreamInterval`` lists are materialised as objects, in the same
-    order the heap greedy appends them.
+    The schedule comes from the vectorised :func:`assign_channels_flat`
+    and is returned array-backed: no ``StreamInterval`` object exists
+    until someone reads :attr:`ChannelAssignment.channels` (rendering,
+    serialization), which materialises the lists in the same order the
+    heap greedy appends them.  ``channel_of`` / ``utilisation`` /
+    ``validate`` run on the arrays directly.
     """
     labels, starts, ends = flat_forest_intervals(forest, L)
     ch = assign_channels_flat(starts, ends)
-    n_channels = int(ch.max()) + 1 if ch.size else 0
-    assignment = ChannelAssignment(channels=[[] for _ in range(n_channels)])
-    order = np.lexsort((ends, starts))
-    lab, st, en = labels.tolist(), starts.tolist(), ends.tolist()
-    for i in order.tolist():
-        assignment.channels[int(ch[i])].append(
-            StreamInterval(label=_as_int_if_exact(lab[i]), start=st[i], end=en[i])
-        )
+    assignment = ChannelAssignment.from_arrays(labels, starts, ends, ch)
+    # Keep the pre-refactor self-check: the array-mode validate is one
+    # vectorised lexsort pass and still materialises no objects.
     assignment.validate()
     return assignment

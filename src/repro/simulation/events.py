@@ -7,6 +7,14 @@ comparisons are exact bandwidth counts, not stochastic averages.
 
 Events carry an arbitrary callback.  Cancellations are handled lazily via
 tombstones (the usual heapq idiom), keeping both push and pop O(log n).
+Moving an event later — the server does it on every Lemma 1 stream
+extension — is lazy too: :meth:`EventQueue.postpone` records the new
+``(time, seq)`` in O(1) and leaves the heap entry in place as a
+tombstone; the entry is re-pushed only when it surfaces.  Because the
+sequence number is drawn *at postpone time*, execution order (including
+every equal-timestamp tie) is identical to the eager cancel-and-
+reschedule it replaces — a chain of k extensions costs O(k) plus one
+O(log n) re-push instead of k heap pushes.
 """
 
 from __future__ import annotations
@@ -29,6 +37,10 @@ class Event:
     seq: int
     action: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    #: lazily postponed target ``(time, seq)``; applied when the stale
+    #: heap entry surfaces (see ``EventQueue.postpone``).
+    deferred_time: Optional[float] = field(default=None, compare=False)
+    deferred_seq: Optional[int] = field(default=None, compare=False, repr=False)
     #: owning queue while the event is still pending in the heap; cleared
     #: on pop so the live-event counter is decremented exactly once.
     _queue: Optional["EventQueue"] = field(default=None, compare=False, repr=False)
@@ -78,17 +90,58 @@ class EventQueue:
         heapq.heappush(self._heap, event)
         return event
 
+    def postpone(self, event: Event, new_time: float) -> None:
+        """Lazily move a pending event to ``new_time`` (>= its current time).
+
+        O(1): the stale heap entry becomes a tombstone in place and is
+        re-pushed with the ``(new_time, seq)`` recorded here when it
+        surfaces.  The sequence number is drawn now, so the eventual
+        execution order — including all equal-timestamp ties — is exactly
+        the order an eager ``cancel()`` + ``schedule()`` at this moment
+        would have produced.  Moving an event *earlier* is not possible
+        lazily (the stale entry would surface too late) and raises.
+        """
+        if math.isnan(new_time):
+            raise ValueError("event time is NaN")
+        if event.cancelled or event._queue is not self:
+            raise ValueError("can only postpone a pending event of this queue")
+        current = (
+            event.deferred_time if event.deferred_time is not None else event.time
+        )
+        if new_time < current:
+            raise ValueError(
+                f"postpone cannot move an event earlier: {new_time} < {current}"
+            )
+        event.deferred_time = new_time
+        event.deferred_seq = next(self._counter)
+
+    def _resurface(self, event: Event) -> None:
+        """Re-push a popped tombstone at its deferred ``(time, seq)``."""
+        event.time = event.deferred_time
+        event.seq = event.deferred_seq
+        event.deferred_time = event.deferred_seq = None
+        heapq.heappush(self._heap, event)
+
     def peek_time(self) -> Optional[float]:
         """Time of the next live event, or None when drained."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        while self._heap:
+            head = self._heap[0]
+            if head.cancelled:
+                heapq.heappop(self._heap)
+            elif head.deferred_time is not None:
+                self._resurface(heapq.heappop(self._heap))
+            else:
+                return head.time
+        return None
 
     def step(self) -> bool:
         """Run the next live event.  Returns False when the queue is empty."""
         while self._heap:
             event = heapq.heappop(self._heap)
             if event.cancelled:
+                continue
+            if event.deferred_time is not None:
+                self._resurface(event)
                 continue
             event._queue = None
             self._live -= 1

@@ -7,7 +7,8 @@ trace under a pluggable :class:`~repro.simulation.policies.Policy`:
   policies act right away; batching policies park them until a slot end);
 * ``SlotEnd`` events fire at every slot boundary for slotted policies;
 * ``StreamEnd`` events finalise a stream's bandwidth when its (possibly
-  extended) planned end passes.
+  extended) planned end passes; extensions postpone the event lazily
+  (a heap tombstone re-pushed on surfacing) rather than rescheduling.
 
 Event ordering at equal timestamps is SlotEnd < Arrival < StreamEnd so
 that (a) an arrival landing exactly on a boundary belongs to the *next*
@@ -158,14 +159,19 @@ class Simulation:
         return stream
 
     def extend_stream(self, label: float, new_units: float) -> None:
-        """Raise a live stream's planned length (no-op if not longer)."""
+        """Raise a live stream's planned length (no-op if not longer).
+
+        The stream's end event is *postponed* lazily (tombstone in the
+        heap, O(1)) instead of cancelled and rescheduled — extensions are
+        the hottest queue operation under merging policies, and the
+        postpone draws its tie-break sequence number now, so event
+        ordering is unchanged from the eager reschedule.
+        """
         stream = self.streams[label]
         if new_units <= stream.planned_units:
             return
         stream.extend_to_units(new_units, now=self.now)
-        old_event = self._stream_end_events.pop(label)
-        old_event.cancel()
-        self._schedule_stream_end(stream)
+        self.queue.postpone(self._stream_end_events[label], stream.planned_end)
 
     def _schedule_stream_end(self, stream: Stream) -> None:
         self._stream_end_events[stream.label] = self.queue.schedule(

@@ -1,0 +1,131 @@
+"""Tests for delay-bandwidth capacity planning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet import (
+    admission_report,
+    capacity_frontier,
+    default_delay_grid,
+    dg_fleet_peak,
+    min_fleet_delay,
+    min_object_delay,
+    render_frontier,
+)
+from repro.multiplex import Catalog, min_delay_for_budget
+
+HORIZON = 240.0
+GRID = default_delay_grid(lo=0.5, hi=16.0, points=10)
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return Catalog.zipf(10, duration_minutes=60.0)
+
+
+class TestMinFleetDelay:
+    def test_bisect_matches_linear_oracle(self, catalog):
+        """The O(log) bisection returns what the multiplex linear scan does."""
+        for budget in (3, 10, 30, 80, 200):
+            mine = min_fleet_delay(catalog, HORIZON, budget, GRID)
+            oracle = min_delay_for_budget(catalog, HORIZON, budget, GRID)
+            assert mine == oracle, (budget, mine, oracle)
+
+    def test_peak_is_nonincreasing_in_delay(self, catalog):
+        peaks = [dg_fleet_peak(catalog, d, HORIZON) for d in GRID]
+        assert all(a >= b for a, b in zip(peaks, peaks[1:]))
+
+    def test_answer_is_verified_feasible(self, catalog):
+        budget = 40
+        d = min_fleet_delay(catalog, HORIZON, budget, GRID)
+        assert d is not None
+        assert dg_fleet_peak(catalog, d, HORIZON) <= budget
+
+    def test_infeasible_budget_returns_none(self, catalog):
+        assert min_fleet_delay(catalog, HORIZON, 1, GRID) is None
+
+    def test_rejects_zero_budget(self, catalog):
+        with pytest.raises(ValueError):
+            min_fleet_delay(catalog, HORIZON, 0, GRID)
+
+
+class TestMinObjectDelay:
+    def test_object_needs_less_than_fleet(self, catalog):
+        obj = catalog[0]
+        budget = 12
+        d_obj = min_object_delay(obj, HORIZON, budget, GRID)
+        d_fleet = min_fleet_delay(catalog, HORIZON, budget, GRID)
+        assert d_obj is not None
+        assert d_fleet is None or d_obj <= d_fleet
+
+    def test_tighter_budget_needs_larger_delay(self, catalog):
+        obj = catalog[0]
+        loose = min_object_delay(obj, HORIZON, 50, GRID)
+        tight = min_object_delay(obj, HORIZON, 5, GRID)
+        assert loose is not None and tight is not None
+        assert tight >= loose
+
+
+class TestFrontier:
+    def test_frontier_delay_decreases_with_budget(self, catalog):
+        points = capacity_frontier(catalog, HORIZON, [5, 20, 60, 150], GRID)
+        assert [p.budget_channels for p in points] == [5, 20, 60, 150]
+        feasible = [p for p in points if p.feasible]
+        assert feasible, "no feasible point on a generous grid"
+        delays = [p.delay_minutes for p in feasible]
+        assert all(a >= b for a, b in zip(delays, delays[1:]))
+        for p in feasible:
+            assert p.peak_channels <= p.budget_channels
+
+    def test_frontier_points_match_direct_search(self, catalog):
+        budgets = [10, 40, 120]
+        points = {
+            p.budget_channels: p
+            for p in capacity_frontier(catalog, HORIZON, budgets, GRID)
+        }
+        for b in budgets:
+            assert points[b].delay_minutes == min_fleet_delay(
+                catalog, HORIZON, b, GRID
+            )
+
+    def test_render(self, catalog):
+        text = render_frontier(
+            capacity_frontier(catalog, HORIZON, [1, 60], GRID)
+        )
+        assert "capacity frontier" in text and "infeasible" in text
+
+
+class TestAdmission:
+    def test_feasible_budget_admits_everything(self, catalog):
+        report = admission_report(catalog, HORIZON, 500, GRID)
+        assert report.feasible
+        assert not report.dropped
+        assert report.served_weight_fraction == pytest.approx(1.0)
+        assert report.peak_channels <= 500
+        assert "feasible" in report.render()
+
+    def test_starved_budget_sheds_least_popular_first(self, catalog):
+        report = admission_report(catalog, HORIZON, 4, GRID)
+        assert not report.feasible
+        assert report.delay_minutes == max(GRID)
+        assert report.dropped, "expected load shedding"
+        # least popular (highest rank index) go first
+        names = [o.name for o in catalog.popularity_rank()]
+        expected_drop_order = list(reversed(names))[: len(report.dropped)]
+        assert list(report.dropped) == expected_drop_order
+        assert 0.0 < report.served_weight_fraction < 1.0
+        assert set(report.admitted) | set(report.dropped) == set(names)
+        assert "shedding" in report.render()
+
+
+class TestGrid:
+    def test_default_grid_shape(self):
+        grid = default_delay_grid(0.25, 32.0, 22)
+        assert len(grid) == 22
+        assert grid[0] == pytest.approx(0.25) and grid[-1] == pytest.approx(32.0)
+        assert all(a < b for a, b in zip(grid, grid[1:]))
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            default_delay_grid(4.0, 2.0)

@@ -1,0 +1,154 @@
+"""Tests for the sharded catalog runner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fleet import FleetPolicy, fleet_profile, run_fleet
+from repro.multiplex import Catalog, aggregate_profile, serve_catalog, split_requests
+from repro.arrivals import poisson
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return Catalog.zipf(12, duration_minutes=60.0)
+
+
+@pytest.fixture(scope="module")
+def workload(catalog):
+    base = poisson(0.25, 180.0, seed=21)
+    return split_requests(base, catalog, seed=21)
+
+
+class TestRunFleet:
+    def test_matches_multiplex_dyadic_provisioning(self, catalog, workload):
+        """Immediate-dyadic fleet == the multiplex provisioning sweep."""
+        report = run_fleet(
+            catalog, 2.0, 180.0,
+            policy=FleetPolicy.immediate_dyadic(), workload=workload,
+        )
+        oracle = serve_catalog(
+            catalog, 2.0, 180.0, policy="dyadic", workload=workload
+        )
+        assert report.peak_channels == oracle.peak_channels
+        assert report.total_units_minutes == pytest.approx(
+            oracle.total_units_minutes
+        )
+        assert report.clients == oracle.clients
+
+    def test_worker_count_does_not_change_results(self, catalog, workload):
+        serial = run_fleet(
+            catalog, 2.0, 180.0, workload=workload,
+        )
+        sharded = run_fleet(
+            catalog, 2.0, 180.0, workload=workload, workers=2,
+        )
+        assert [o.name for o in serial.objects] == [o.name for o in sharded.objects]
+        for a, b in zip(serial.objects, sharded.objects):
+            assert a.clients == b.clients and a.streams == b.streams
+            assert np.array_equal(a.starts, b.starts)
+            assert np.array_equal(a.ends, b.ends)
+        assert serial.peak_channels == sharded.peak_channels
+
+    def test_objects_missing_from_workload_cost_nothing(self, catalog):
+        workload = {catalog[0].name: poisson(0.5, 180.0, seed=5)}
+        # general-offline is undefined over zero served slots — quiet
+        # objects must contribute empty results, not abort the fleet
+        for policy in (None, FleetPolicy.general_offline()):
+            report = run_fleet(catalog, 2.0, 180.0, policy=policy,
+                               workload=workload)
+            by_name = {o.name: o for o in report.objects}
+            assert by_name[catalog[0].name].streams > 0
+            for obj in catalog.objects[1:]:
+                assert by_name[obj.name].streams == 0
+                assert by_name[obj.name].total_units_minutes == 0.0
+
+    def test_generated_mode_is_seed_deterministic(self, catalog):
+        kwargs = dict(
+            workload=None, mean_interarrival_minutes=0.25, seed=99,
+        )
+        a = run_fleet(catalog, 2.0, 180.0, **kwargs)
+        b = run_fleet(catalog, 2.0, 180.0, **kwargs)
+        assert a.clients == b.clients and a.peak_channels == b.peak_channels
+        for x, y in zip(a.objects, b.objects):
+            assert np.array_equal(x.starts, y.starts)
+        c = run_fleet(catalog, 2.0, 180.0, workload=None,
+                      mean_interarrival_minutes=0.25, seed=100)
+        assert any(
+            not np.array_equal(x.starts, y.starts)
+            for x, y in zip(a.objects, c.objects)
+        ), "different seeds produced identical workloads"
+
+    def test_generated_mode_objects_draw_independent_streams(self):
+        """Regression: spawned per-object seeds must differ — shipping
+        only the SeedSequence entropy (dropping the spawn key) gave every
+        object an identical RNG stream."""
+        from repro.multiplex import MediaObject
+
+        equal = Catalog(
+            [MediaObject(f"eq-{i}", 60.0, 1.0) for i in range(4)]
+        )
+        report = run_fleet(equal, 2.0, 180.0, workload=None,
+                           mean_interarrival_minutes=0.5, seed=7)
+        streams = [tuple(o.starts.tolist()) for o in report.objects]
+        assert len(set(streams)) == len(streams), (
+            "equal-weight objects produced identical traces"
+        )
+
+    def test_generated_mode_needs_a_rate(self, catalog):
+        with pytest.raises(ValueError, match="mean_interarrival"):
+            run_fleet(catalog, 2.0, 180.0, workload=None)
+
+    def test_rejects_bad_geometry(self, catalog):
+        with pytest.raises(ValueError):
+            run_fleet(catalog, 0.0, 180.0, workload={})
+        with pytest.raises(ValueError):
+            run_fleet(catalog, 2.0, -1.0, workload={})
+
+    def test_report_summaries(self, catalog, workload):
+        report = run_fleet(catalog, 2.0, 180.0, workload=workload)
+        assert report.clients == sum(len(t) for t in workload.values())
+        assert report.streams == sum(o.streams for o in report.objects)
+        assert 0.0 < report.max_startup_delay_minutes() <= 2.0
+        busiest = report.busiest_objects(3)
+        assert len(busiest) == 3
+        assert busiest[0].total_units_minutes >= busiest[-1].total_units_minutes
+        text = report.render()
+        assert "peak channels" in text and busiest[0].name in text
+
+    def test_max_startup_delay_respects_guarantee(self, catalog, workload):
+        report = run_fleet(catalog, 3.0, 180.0, workload=workload)
+        for o in report.objects:
+            assert o.max_startup_delay_minutes <= 3.0
+
+
+class TestFleetProfile:
+    def test_profile_bounds_peak(self, catalog, workload):
+        report = run_fleet(catalog, 2.0, 180.0, workload=workload)
+        # bin-occupancy over-approximates, so the max never under-reports
+        starts, ends = report._stacked()
+        prof = fleet_profile(starts, ends, 0.0, 240.0, 5.0)
+        assert prof.max() >= report.peak_channels
+        assert prof.sum() > 0
+        # empty fleet profile is all zero
+        empty = np.empty(0)
+        assert fleet_profile(empty, empty, 0.0, 10.0, 1.0).max() == 0
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            fleet_profile(np.empty(0), np.empty(0), 5.0, 5.0, 1.0)
+        with pytest.raises(ValueError):
+            fleet_profile(np.empty(0), np.empty(0), 0.0, 5.0, 0.0)
+
+    def test_report_profile_equals_objectload_aggregation(self, catalog, workload):
+        report = run_fleet(
+            catalog, 2.0, 180.0,
+            policy=FleetPolicy.immediate_dyadic(), workload=workload,
+        )
+        oracle = serve_catalog(
+            catalog, 2.0, 180.0, policy="dyadic", workload=workload
+        )
+        mine = report.profile(0.0, 240.0, resolution=2.0)
+        theirs = aggregate_profile(oracle.loads, 0.0, 240.0, 2.0)
+        assert np.array_equal(mine, theirs)

@@ -1,0 +1,165 @@
+"""Tests for the scenario library and the fleet CLI front end."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arrivals import constant_rate, poisson
+from repro.arrivals.traces import ArrivalTrace
+from repro.fleet import (
+    SCENARIOS,
+    compose,
+    constant_poisson_blend,
+    diurnal,
+    flash_crowd,
+    inject,
+    premiere_drop,
+    scenario_workload,
+    thinned,
+)
+from repro.fleet.cli import fleet_main
+from repro.multiplex import Catalog
+
+
+def _valid(trace: ArrivalTrace) -> None:
+    ts = trace.times
+    assert all(b > a for a, b in zip(ts, ts[1:]))
+    assert not ts or (ts[0] >= 0 and ts[-1] < trace.horizon)
+
+
+BASE = poisson(0.5, 120.0, seed=4)
+
+
+class TestTransformers:
+    def test_inject_merges_and_nudges(self):
+        out = inject([1.0, 1.0, 500.0, BASE.times[0]])(BASE)
+        _valid(out)
+        # the out-of-horizon point is dropped; duplicates survive nudged
+        assert len(out) == len(BASE) + 3
+
+    def test_flash_crowd_adds_exactly_clients(self):
+        crowd = flash_crowd(at=40.0, clients=25, spread=2.0, seed=8)
+        out = crowd(BASE)
+        _valid(out)
+        assert len(out) == len(BASE) + 25
+        added = sorted(set(out.times) - set(BASE.times))
+        assert all(40.0 <= t < 42.0 + 1e-6 for t in added)
+
+    def test_flash_crowd_deterministic(self):
+        crowd = lambda: flash_crowd(at=40.0, clients=25, spread=2.0, seed=8)
+        assert crowd()(BASE).times == crowd()(BASE).times
+
+    def test_premiere_drop_decays(self):
+        out = premiere_drop(clients=400, decay=20.0, seed=3)(BASE)
+        _valid(out)
+        added = sorted(set(out.times) - set(BASE.times))
+        assert len(added) > 100
+        early = sum(1 for t in added if t < 40.0)
+        late = sum(1 for t in added if t >= 80.0)
+        assert early > 3 * max(1, late)
+
+    def test_premiere_outside_horizon_raises(self):
+        with pytest.raises(ValueError, match="horizon"):
+            premiere_drop(clients=10, decay=5.0, at=500.0)(BASE)
+
+    def test_diurnal_thins_to_subset(self):
+        out = diurnal(period=60.0, depth=0.9, seed=5)(BASE)
+        _valid(out)
+        assert set(out.times) <= set(BASE.times)
+        assert 0 < len(out) < len(BASE)
+
+    def test_diurnal_depth_zero_is_noop(self):
+        assert diurnal(period=60.0, depth=0.0, seed=5)(BASE).times == BASE.times
+
+    def test_thinned(self):
+        out = thinned(0.5, seed=6)(BASE)
+        _valid(out)
+        assert set(out.times) <= set(BASE.times)
+        assert abs(len(out) / len(BASE) - 0.5) < 0.2
+
+    def test_compose_applies_left_to_right(self):
+        pipeline = compose(
+            thinned(0.7, seed=1),
+            flash_crowd(at=10.0, clients=5, spread=1.0, seed=2),
+        )
+        out = pipeline(BASE)
+        _valid(out)
+
+    def test_blend_contains_the_drumbeat(self):
+        out = constant_poisson_blend(10.0, 2.0, 120.0, seed=9)
+        _valid(out)
+        beat = constant_rate(10.0, 120.0)
+        assert set(beat.times) <= set(out.times)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            flash_crowd(at=0.0, clients=0, spread=1.0)
+        with pytest.raises(ValueError):
+            flash_crowd(at=0.0, clients=5, spread=0.0)
+        with pytest.raises(ValueError):
+            diurnal(period=60.0, depth=1.5)
+        with pytest.raises(ValueError):
+            thinned(0.0)
+        with pytest.raises(ValueError):
+            premiere_drop(clients=5, decay=0.0)
+
+
+class TestScenarioWorkload:
+    @pytest.fixture(scope="class")
+    def catalog(self):
+        return Catalog.zipf(8, duration_minutes=30.0)
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_each_scenario_builds_a_full_workload(self, catalog, name):
+        workload = scenario_workload(name, catalog, 0.5, 60.0, seed=11)
+        assert set(workload) == {o.name for o in catalog}
+        for trace in workload.values():
+            _valid(trace)
+            assert trace.horizon == 60.0
+
+    def test_scenarios_are_seed_deterministic(self, catalog):
+        a = scenario_workload("flash", catalog, 0.5, 60.0, seed=11)
+        b = scenario_workload("flash", catalog, 0.5, 60.0, seed=11)
+        assert all(a[k].times == b[k].times for k in a)
+
+    def test_flash_hits_the_top_title(self, catalog):
+        plain = scenario_workload("zipf", catalog, 0.5, 60.0, seed=11)
+        flash = scenario_workload("flash", catalog, 0.5, 60.0, seed=11)
+        top = catalog.popularity_rank()[0].name
+        assert len(flash[top]) > len(plain[top])
+
+    def test_unknown_scenario_raises(self, catalog):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            scenario_workload("nope", catalog, 0.5, 60.0)
+
+
+class TestFleetCli:
+    def test_end_to_end_hundred_objects(self, capsys):
+        rc = fleet_main([
+            "--objects", "100", "--horizon", "60", "--mean-interarrival", "0.2",
+            "--delay", "2.0", "--seed", "3",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fleet report" in out
+        assert "capacity frontier" in out
+        assert "admission report" in out
+
+    def test_no_frontier_flag(self, capsys):
+        rc = fleet_main([
+            "--objects", "20", "--horizon", "30", "--mean-interarrival", "0.5",
+            "--scenario", "diurnal", "--no-frontier",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "capacity frontier" not in out
+
+    def test_dispatch_from_main_cli(self, capsys):
+        from repro.cli import main
+
+        rc = main([
+            "fleet", "--objects", "10", "--horizon", "30",
+            "--mean-interarrival", "0.5", "--no-frontier",
+        ])
+        assert rc == 0
+        assert "fleet report" in capsys.readouterr().out

@@ -239,3 +239,47 @@ class TestDelayForBudget:
     def test_bad_budget(self, catalog):
         with pytest.raises(ValueError):
             min_delay_for_budget(catalog, 480.0, 0, (5.0,))
+
+
+class TestSplitRequestsVectorised:
+    """The argsort/grouping split must reproduce the retired per-request
+    Python bucket loop byte for byte (same RNG draws, same traces)."""
+
+    @staticmethod
+    def reference_split(trace, catalog, seed=None):
+        """The pre-vectorisation implementation, frozen as the oracle."""
+        from repro.arrivals.generators import rng_from
+
+        rng = rng_from(seed)
+        picks = rng.choice(len(catalog), size=len(trace), p=catalog.weights())
+        buckets = {o.name: [] for o in catalog}
+        for t, k in zip(trace, picks):
+            buckets[catalog[int(k)].name].append(t)
+        return {
+            name: ArrivalTrace(times=tuple(times), horizon=trace.horizon)
+            for name, times in buckets.items()
+        }
+
+    @pytest.mark.parametrize("seed", [0, 7, 12345])
+    def test_byte_identical_to_reference_loop(self, seed):
+        catalog = Catalog.zipf(13, duration_minutes=45.0)
+        trace = poisson(0.2, 240.0, seed=99)
+        fast = split_requests(trace, catalog, seed=seed)
+        slow = self.reference_split(trace, catalog, seed=seed)
+        assert fast.keys() == slow.keys()
+        for name in fast:
+            assert fast[name].times == slow[name].times
+            assert fast[name].horizon == slow[name].horizon
+
+    def test_empty_trace(self):
+        catalog = Catalog.zipf(4)
+        empty = ArrivalTrace(times=(), horizon=10.0)
+        out = split_requests(empty, catalog, seed=1)
+        assert set(out) == {o.name for o in catalog}
+        assert all(len(t) == 0 and t.horizon == 10.0 for t in out.values())
+
+    def test_single_object_catalog_gets_everything(self):
+        catalog = Catalog([MediaObject("only", 60.0, 1.0)])
+        trace = poisson(0.5, 60.0, seed=2)
+        out = split_requests(trace, catalog, seed=3)
+        assert out["only"].times == trace.times

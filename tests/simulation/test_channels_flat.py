@@ -137,3 +137,73 @@ class TestChannelAssignmentFixes:
     def test_utilisation_never_exceeds_one(self, raw, horizon):
         a = assign_channels([iv(i, s, s + d) for i, (s, d) in enumerate(raw)])
         assert 0.0 <= a.utilisation(float(horizon)) <= 1.0
+
+
+class TestLazyArrayAssignment:
+    """``assign_forest_channels`` is array-backed: no ``StreamInterval``
+    objects exist until ``.channels`` is read, and every query must match
+    the object-list oracle (:func:`assign_channels`)."""
+
+    def _pair(self, L=15, n=57):
+        forest = build_optimal_forest(L, n)
+        flat = assign_forest_channels(forest, L)
+        oracle = assign_channels(forest_intervals(forest, L))
+        return flat, oracle, forest, L
+
+    def test_no_objects_before_channels_is_read(self):
+        flat, _oracle, _forest, _L = self._pair()
+        assert flat._channels is None  # still lazy
+        assert flat.num_channels > 0  # answered from arrays
+        assert flat._channels is None
+
+    def test_channel_of_matches_oracle(self):
+        flat, oracle, forest, L = self._pair()
+        for label in flat_forest_intervals(forest, L)[0].tolist():
+            assert flat.channel_of(label) == oracle.channel_of(label)
+        assert flat._channels is None  # lookups never materialised objects
+        with pytest.raises(KeyError):
+            flat.channel_of(-123.0)
+
+    def test_utilisation_matches_oracle(self):
+        flat, oracle, _forest, _L = self._pair()
+        for horizon in (10.0, 57.0, 200.0):
+            assert flat.utilisation(horizon) == pytest.approx(
+                oracle.utilisation(horizon), rel=1e-12
+            )
+        assert flat.utilisation(0.0) == 0.0
+        assert flat._channels is None
+
+    def test_materialised_channels_equal_oracle(self):
+        flat, oracle, _forest, _L = self._pair()
+        assert flat.channels == oracle.channels  # property builds lazily
+        assert flat._channels is not None
+        assert flat.render() == oracle.render()
+
+    def test_validate_on_arrays_accepts_greedy_and_rejects_overlap(self):
+        from repro.simulation.channels import ChannelAssignment
+
+        flat, _oracle, _forest, _L = self._pair()
+        flat.validate()  # greedy plan is overlap-free, still lazy
+        assert flat._channels is None
+
+        bad = ChannelAssignment.from_arrays(
+            labels=np.array([1.0, 2.0]),
+            starts=np.array([0.0, 3.0]),
+            ends=np.array([5.0, 8.0]),
+            channel=np.array([0, 0]),
+        )
+        with pytest.raises(AssertionError, match="overlap"):
+            bad.validate()
+
+    def test_empty_assignment(self):
+        from repro.simulation.channels import ChannelAssignment
+
+        empty = ChannelAssignment.from_arrays(
+            labels=np.empty(0),
+            starts=np.empty(0),
+            ends=np.empty(0),
+            channel=np.empty(0, dtype=np.intp),
+        )
+        assert empty.num_channels == 0
+        assert empty.utilisation(10.0) == 0.0
+        assert empty.channels == []

@@ -112,3 +112,120 @@ class TestRun:
 
     def test_step_on_empty(self):
         assert EventQueue().step() is False
+
+
+class TestPostpone:
+    """Lazy deletion on extend: tombstone + re-push, ordering unchanged."""
+
+    def test_postpone_moves_execution(self):
+        q = EventQueue()
+        log = []
+        ev = q.schedule(1.0, lambda: log.append(("ev", q.now)))
+        q.schedule(2.0, lambda: log.append(("mid", q.now)))
+        q.postpone(ev, 3.0)
+        q.run()
+        assert log == [("mid", 2.0), ("ev", 3.0)]
+
+    def test_chain_of_postpones_fires_once_at_last_target(self):
+        q = EventQueue()
+        log = []
+        ev = q.schedule(1.0, lambda: log.append(q.now))
+        for t in (2.0, 5.0, 9.0):
+            q.postpone(ev, t)
+        q.run()
+        assert log == [9.0]
+        assert q.processed == 1
+
+    def test_equal_timestamp_ordering_matches_eager_reschedule(self):
+        """The satellite boundary contract: postponing draws its tie-break
+        sequence number immediately, so events postponed to the *same*
+        timestamp fire in postpone order — exactly the order the eager
+        cancel + reschedule idiom produced."""
+
+        def eager(q, ev, t, action, priority):
+            ev.cancel()
+            return q.schedule(t, action, priority=priority)
+
+        def lazy(q, ev, t, action, priority):
+            q.postpone(ev, t)
+            return ev
+
+        runs = {}
+        for name, move in (("eager", eager), ("lazy", lazy)):
+            q = EventQueue()
+            log = []
+            evs = {
+                k: q.schedule(
+                    1.0 + k, (lambda k=k: log.append((k, q.now))), priority=5
+                )
+                for k in range(4)
+            }
+            # interleave moves so postpone order differs from both the
+            # original schedule order and the stale-entry surfacing order
+            evs[2] = move(q, evs[2], 10.0, lambda: log.append((2, q.now)), 5)
+            evs[0] = move(q, evs[0], 10.0, lambda: log.append((0, q.now)), 5)
+            evs[3] = move(q, evs[3], 10.0, lambda: log.append((3, q.now)), 5)
+            # same-time event scheduled *between* the moves keeps its slot
+            q.schedule(10.0, lambda: log.append(("fresh", q.now)), priority=5)
+            evs[1] = move(q, evs[1], 10.0, lambda: log.append((1, q.now)), 5)
+            q.run()
+            runs[name] = log
+        assert runs["lazy"] == runs["eager"]
+        assert [k for k, _ in runs["lazy"]] == [2, 0, 3, "fresh", 1]
+
+    def test_priority_still_breaks_ties_after_postpone(self):
+        q = EventQueue()
+        log = []
+        low = q.schedule(1.0, lambda: log.append("low"), priority=9)
+        q.postpone(low, 4.0)
+        q.schedule(4.0, lambda: log.append("high"), priority=0)
+        q.run()
+        assert log == ["high", "low"]
+
+    def test_len_and_peek_see_through_tombstones(self):
+        q = EventQueue()
+        ev = q.schedule(1.0, lambda: None)
+        q.schedule(5.0, lambda: None)
+        q.postpone(ev, 8.0)
+        assert len(q) == 2  # still pending, just later
+        assert q.peek_time() == 5.0  # stale head entry resurfaced lazily
+        q.run()
+        assert len(q) == 0 and q.now == 8.0
+
+    def test_cannot_postpone_earlier(self):
+        q = EventQueue()
+        ev = q.schedule(5.0, lambda: None)
+        with pytest.raises(ValueError, match="earlier"):
+            q.postpone(ev, 3.0)
+        q.postpone(ev, 7.0)
+        with pytest.raises(ValueError, match="earlier"):
+            q.postpone(ev, 6.0)  # earlier than the pending deferred target
+
+    def test_cannot_postpone_foreign_cancelled_or_fired(self):
+        q, other = EventQueue(), EventQueue()
+        ev = q.schedule(1.0, lambda: None)
+        with pytest.raises(ValueError):
+            other.postpone(ev, 2.0)
+        ev.cancel()
+        with pytest.raises(ValueError):
+            q.postpone(ev, 2.0)
+        fired = q.schedule(1.0, lambda: None)
+        q.run()
+        with pytest.raises(ValueError):
+            q.postpone(fired, 9.0)
+
+    def test_nan_rejected(self):
+        q = EventQueue()
+        ev = q.schedule(1.0, lambda: None)
+        with pytest.raises(ValueError):
+            q.postpone(ev, math.nan)
+
+    def test_cancel_after_postpone_wins(self):
+        q = EventQueue()
+        log = []
+        ev = q.schedule(1.0, lambda: log.append("x"))
+        q.postpone(ev, 5.0)
+        ev.cancel()
+        q.schedule(6.0, lambda: log.append("y"))
+        q.run()
+        assert log == ["y"]
