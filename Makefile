@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python
 
-.PHONY: test bench bench-general bench-sim bench-fleet bench-smoke
+.PHONY: test bench bench-general bench-sim bench-fleet bench-experiments bench-smoke
 
 ## tier-1 test suite (must stay green)
 test:
@@ -28,8 +28,13 @@ bench-sim:
 bench-fleet:
 	$(PY) benchmarks/bench_fleet.py
 
+## sweep-tier figure drivers vs the retired per-point loops:
+## regenerates BENCH_experiments.json (paper-scale grids; ~10 seconds)
+bench-experiments:
+	$(PY) benchmarks/bench_experiments.py
+
 ## quick pytest-benchmark pass over the fastpath + general-arrivals +
-## flat-simulation + fleet smoke cases (CI job; every run asserts
-## fast == reference)
+## flat-simulation + fleet + experiments smoke cases (CI job; every run
+## asserts fast == reference)
 bench-smoke:
-	$(PY) -m pytest benchmarks/bench_fastpath.py benchmarks/bench_general.py benchmarks/bench_sim.py benchmarks/bench_fleet.py --benchmark-only -q
+	$(PY) -m pytest benchmarks/bench_fastpath.py benchmarks/bench_general.py benchmarks/bench_sim.py benchmarks/bench_fleet.py benchmarks/bench_experiments.py --benchmark-only -q

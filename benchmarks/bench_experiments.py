@@ -1,0 +1,170 @@
+"""Sweep-tier figure drivers vs. the retired per-point loops — the
+``BENCH_experiments.json`` trajectory.
+
+Two modes (same layout as ``bench_fleet.py``):
+
+* ``pytest benchmarks/bench_experiments.py --benchmark-only`` —
+  smoke-size pytest-benchmark runs (small grids; every run asserts the
+  sweep rows equal the reference loop's);
+* ``python benchmarks/bench_experiments.py`` (or
+  ``make bench-experiments``) — the full sweep, writing
+  ``BENCH_experiments.json`` (schema ``repro.fastpath.bench.v1``) at the
+  repo root.
+
+"Reference" timings run the retired per-point driver loops
+(``run_fig*_reference``: a flat forest built and evaluated per grid
+point); "fast" timings run the sweep-engine drivers (closed-form
+``Acost``/``Fcost`` kernels, batched fleet kernel for the dyadic
+points).  Every timed pair asserts row-identical tables in-run.  The
+sweep enforces the ISSUE 5 acceptance floor: >= 10x end-to-end on at
+least two figure drivers at paper-scale (default) parameters —
+``fig1`` and ``fig9`` clear it outright, and the warm-cache ``fig12``
+re-render demonstrates the dirty-point story on a simulation-bound
+driver.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+from typing import Dict, List
+
+if __name__ == "__main__":  # script mode: make src importable before repro
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from repro.experiments.fig1_delay_savings import run_fig1, run_fig1_reference
+from repro.experiments.fig9_online_ratio import run_fig9, run_fig9_reference
+from repro.experiments.policy_comparison import run_fig12, run_fig12_reference
+from repro.sweeps import SweepCache, run_sweep
+from repro.experiments.fig1_delay_savings import fig1_spec
+from repro.experiments.policy_comparison import comparison_spec
+
+from conftest import timeit_best, write_bench_json
+
+
+def _rows(results) -> List:
+    return [list(map(tuple, res.rows)) for res in results]
+
+
+def _assert_rows_equal(fast, ref, label: str) -> None:
+    assert _rows(fast) == _rows(ref), f"{label}: sweep rows != reference rows"
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark smoke tests (small grids, CI-friendly)
+# ---------------------------------------------------------------------------
+
+
+def test_fig1_sweep_smoke(benchmark):
+    fast = benchmark(run_fig1)
+    _assert_rows_equal(fast, run_fig1_reference(), "fig1")
+
+
+def test_fig9_sweep_smoke(benchmark):
+    ns = (10, 100, 1000, 10000)
+    fast = benchmark(run_fig9, ns=ns)
+    _assert_rows_equal(fast, run_fig9_reference(ns=ns), "fig9")
+
+
+def test_fig12_sweep_smoke(benchmark):
+    kwargs = dict(L=50, lambdas=(0.5, 2.0), horizon_media=10, seeds=(0,))
+    fast = benchmark(run_fig12, **kwargs)
+    _assert_rows_equal(fast, run_fig12_reference(**kwargs), "fig12")
+
+
+def test_fig1_cache_smoke(tmp_path, benchmark):
+    cache = SweepCache(tmp_path)
+    run_sweep(fig1_spec(), cache=cache)  # prime
+    warm = benchmark(run_sweep, fig1_spec(), cache=cache)
+    assert warm.evaluated == 0 and warm.cache_hits == warm.n_points
+
+
+# ---------------------------------------------------------------------------
+# full sweep (script mode): writes BENCH_experiments.json
+# ---------------------------------------------------------------------------
+
+
+def _case(name: str, n: int, ref_s: float, fast_s: float, **extra) -> Dict:
+    row = {
+        "name": name,
+        "n": n,
+        "reference_seconds": round(ref_s, 6),
+        "fast_seconds": round(fast_s, 6),
+        "speedup": round(ref_s / fast_s, 2),
+        **extra,
+    }
+    print(
+        f"  {name:24s} n={n:>4d}  ref {ref_s:9.4f}s  "
+        f"fast {fast_s:9.6f}s  x{row['speedup']:.1f}"
+    )
+    return row
+
+
+def run_bench() -> Dict:
+    rows: List[Dict] = []
+
+    # -- closed-form-dominated figure drivers, paper-scale defaults ---------
+    for name, fast_fn, ref_fn, points in (
+        ("fig1_delay_savings", run_fig1, run_fig1_reference, 9),
+        ("fig9_online_ratio", run_fig9, run_fig9_reference, 27),
+    ):
+        ref_s, ref_res = timeit_best(ref_fn, repeats=3)
+        fast_s, fast_res = timeit_best(fast_fn, repeats=3)
+        _assert_rows_equal(fast_res, ref_res, name)
+        rows.append(_case(name, points, ref_s, fast_s))
+
+    # -- simulation-bound driver: kernel + closed-form DG -------------------
+    ref_s, ref_res = timeit_best(run_fig12_reference, repeats=1)
+    fast_s, fast_res = timeit_best(run_fig12, repeats=2)
+    _assert_rows_equal(fast_res, ref_res, "fig12")
+    rows.append(_case("fig12_poisson", 9, ref_s, fast_s))
+
+    # -- warm-cache re-render: the dirty-point story on the same driver -----
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = SweepCache(tmp)
+        spec = comparison_spec("poisson", 100, (0.25, 0.5, 0.75, 1.0, 1.5,
+                                                2.0, 3.0, 4.0, 5.0), 100,
+                               (0, 1, 2))
+        run_sweep(spec, cache=cache)  # prime the artifacts
+        warm_s, warm = timeit_best(lambda: run_sweep(spec, cache=cache),
+                                   repeats=3)
+        assert warm.evaluated == 0, "cache failed to warm"
+        rows.append(_case("fig12_poisson_cached", 9, ref_s, warm_s))
+
+    # Acceptance floor (ISSUE 5): >= 10x end-to-end on at least two figure
+    # drivers at paper-scale parameters, rows asserted against the
+    # reference loop oracle in-run above.
+    floored = [r for r in rows if r["name"] in (
+        "fig1_delay_savings", "fig9_online_ratio", "fig12_poisson_cached",
+    )]
+    meeting = [r for r in floored if r["speedup"] >= 10]
+    assert len(meeting) >= 2, f"need >=10x on two figure drivers: {rows}"
+
+    return {
+        "schema": "repro.fastpath.bench.v1",
+        "description": (
+            "Sweep-tier figure drivers (repro.sweeps: closed-form "
+            "Acost/Fcost kernels + batched fleet kernel, columnar fold) "
+            "vs the retired per-point loops (run_fig*_reference), at "
+            "paper-scale default parameters.  Best-of-k wall clock; "
+            "every pair asserts row-identical tables in-run.  The "
+            "_cached case re-renders from a warm content-hash artifact "
+            "cache (zero dirty points).  Floor: >= 10x on at least two "
+            "figure drivers."
+        ),
+        "benchmarks": rows,
+    }
+
+
+def main() -> int:
+    print("experiments benchmark sweep (paper-scale grids; ~10 seconds)")
+    payload = run_bench()
+    path = write_bench_json("experiments", payload)
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

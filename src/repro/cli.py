@@ -4,9 +4,14 @@ Usage::
 
     python -m repro list
     python -m repro fig1
-    python -m repro fig12 --save results/
+    python -m repro fig12 --save results/ --workers 4 --cache
     python -m repro all --save results/
     python -m repro fleet --objects 120 --scenario flash
+
+Grid experiments run through the sweep tier (:mod:`repro.sweeps`):
+``--workers`` shards point evaluation across processes and ``--cache``
+enables the content-hash artifact cache, so re-rendering a figure after
+a parameter tweak recomputes only the dirty points.
 
 ``fleet`` is not a paper experiment but the catalog-scale serving +
 capacity-planning front end (see :mod:`repro.fleet.cli`); it takes its
@@ -27,6 +32,7 @@ from typing import List, Optional
 
 from .experiments import all_experiments, get_experiment
 from .experiments.report import save_results
+from .sweeps import DEFAULT_CACHE_DIR, configure_sweeps
 
 __all__ = ["main"]
 
@@ -84,8 +90,33 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="DIR",
         help="also write <id>.txt and <id>.json under DIR (default: results/)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="shard sweep-point evaluation across N worker processes "
+        "(default 0 = in-process)",
+    )
+    parser.add_argument(
+        "--cache",
+        nargs="?",
+        const=DEFAULT_CACHE_DIR,
+        default=None,
+        metavar="DIR",
+        help="enable the sweep artifact cache under DIR (default: "
+        f"{DEFAULT_CACHE_DIR}/); re-rendering after a parameter tweak "
+        "recomputes only dirty grid points",
+    )
     args = parser.parse_args(argv)
 
+    # `False` (not None) when the flag is absent: every `main()` call
+    # re-establishes its own cache setting instead of inheriting one from
+    # an earlier in-process invocation.
+    configure_sweeps(
+        workers=args.workers,
+        cache=args.cache if args.cache is not None else False,
+    )
     if args.experiment == "list":
         _print_listing()
         return 0

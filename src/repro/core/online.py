@@ -24,7 +24,8 @@ Theorem 22 that ``A(L, n) / F(L, n) <= 1 + 2L/n`` for ``L >= 7`` and
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional
+from functools import lru_cache
+from typing import Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -40,6 +41,7 @@ __all__ = [
     "build_online_forest",
     "build_online_flat_forest",
     "online_full_cost",
+    "online_full_cost_closed",
     "online_over_optimal_ratio",
     "OnlineScheduler",
     "StreamOrder",
@@ -166,6 +168,58 @@ def online_full_cost(L: int, n: int, tree_size: Optional[int] = None) -> int:
     ``tree_size`` overrides the static ``F_h`` choice (ablation use).
     """
     return int(build_online_flat_forest(L, n, tree_size=tree_size).full_cost(L))
+
+
+@lru_cache(maxsize=None)
+def _online_prefix_costs(size: int, L: int) -> Tuple[int, ...]:
+    """``A``-costs of the template-prefix forests: index ``rem`` holds the
+    full cost of the first ``rem`` preorder nodes of the size-``size``
+    optimal tree (``rem = 0..size``; index ``size`` is the full tree).
+
+    Built incrementally in integer arithmetic: appending preorder node
+    ``k`` adds its own Lemma 1 length (``k - p`` for non-roots, ``L`` for
+    the root) and, since ``k`` becomes the new subtree maximum ``z`` of
+    every ancestor, extends each non-root ancestor ``a`` by
+    ``2 (k - z_old(a))``.  O(size log size) total (ancestor chains of the
+    Fibonacci template have logarithmic depth).
+    """
+    parent = build_optimal_parent_array(size).tolist()
+    z = list(range(size))
+    prefix = [0] * (size + 1)
+    total = 0
+    for k in range(size):
+        p = parent[k]
+        total += L if p < 0 else k - p
+        a = p
+        while a >= 0:
+            if parent[a] >= 0:  # the root's stream length stays L
+                total += 2 * (k - z[a])
+            z[a] = k
+            a = parent[a]
+        prefix[k + 1] = total
+    return tuple(prefix)
+
+
+def online_full_cost_closed(L: int, n: int, tree_size: Optional[int] = None) -> int:
+    """``A(L, n)`` in closed form — no forest is materialised.
+
+    The DG forest is ``q = n // size`` copies of the static template plus
+    a preorder prefix of ``rem = n % size`` nodes; per-tree costs are
+    shift-invariant integers, so ``A(L, n) = q * A_template + A_prefix``.
+    Exactly equal to :func:`online_full_cost` (the flat-forest evaluator,
+    kept as the per-point reference) for every valid ``(L, n, tree_size)``
+    — property-tested in ``tests/sweeps/test_closed_forms.py``.  The
+    per-``(size, L)`` prefix table is memoised, making each call O(log n)
+    after the first — the ``Acost`` evaluator the sweep tier feeds on.
+    """
+    if L < 1 or n < 1:
+        raise ValueError(f"need L >= 1 and n >= 1, got L={L}, n={n}")
+    size = online_tree_size(L) if tree_size is None else tree_size
+    if not 1 <= size <= L:
+        raise ValueError(f"tree size {size} infeasible for L={L}")
+    prefix = _online_prefix_costs(size, L)
+    q, rem = divmod(n, size)
+    return q * prefix[size] + prefix[rem]
 
 
 def online_over_optimal_ratio(L: int, n: int) -> float:

@@ -9,22 +9,49 @@
   wall-clock scaling evidence for the paper's headline complexity claim.
 * ``buffer``: bounded-buffer cost curve (Section 3.3): optimal full cost
   as the client buffer B shrinks.
+
+All four are sweep-tier drivers.  The dyadic grid runs through the
+batched fleet kernel; the tree-size and buffer grids through the
+closed-form cost kernels; the complexity grid times real constructions
+per point and is therefore marked non-cacheable.
 """
 
 from __future__ import annotations
 
-import time
 from typing import List, Sequence
 
-from ..arrivals import poisson
-from ..baselines.dyadic import DyadicParams, dyadic_cost
-from ..core import dp
-from ..core.buffers import optimal_bounded_full_cost
 from ..core.fibonacci import PHI, fib, tree_size_index
 from ..core.full_cost import optimal_full_cost
-from ..core.offline import build_optimal_tree
-from ..core.online import online_full_cost
+from ..sweeps import Axis, SweepSpec, run_sweep
+from ..sweeps.evaluators import (
+    bounded_buffer_point,
+    construction_timing_point,
+    dyadic_sensitivity_point,
+    static_tree_point,
+)
 from .harness import ExperimentResult, register
+
+
+def ablation_dyadic_spec(
+    L: int,
+    lam: float,
+    horizon: float,
+    alphas: Sequence[float],
+    betas: Sequence[float],
+    seeds: Sequence[int],
+) -> SweepSpec:
+    return SweepSpec(
+        name="ablation-dyadic",
+        evaluator=dyadic_sensitivity_point,
+        axes=[Axis("alpha", tuple(alphas)), Axis("beta", tuple(betas))],
+        fixed={
+            "L": int(L),
+            "lam": float(lam),
+            "horizon": float(horizon),
+            "seeds": tuple(seeds),
+        },
+        metrics=("mean_streams",),
+    )
 
 
 @register(
@@ -41,14 +68,11 @@ def run_ablation_dyadic(
     betas: Sequence[float] = (0.25, 0.5, 0.75),
     seeds: Sequence[int] = (0, 1, 2),
 ) -> List[ExperimentResult]:
-    rows = []
-    traces = [list(poisson(lam, horizon, seed=s)) for s in seeds]
-    for alpha in alphas:
-        for beta in betas:
-            params = DyadicParams(alpha=alpha, beta=beta)
-            costs = [dyadic_cost(t, L, params) / L for t in traces if t]
-            mean = sum(costs) / len(costs)
-            rows.append((round(alpha, 4), beta, round(mean, 2)))
+    sweep = run_sweep(ablation_dyadic_spec(L, lam, horizon, alphas, betas, seeds))
+    rows = [
+        (round(alpha, 4), beta, round(mean, 2))
+        for alpha, beta, mean in sweep.rows("alpha", "beta", "mean_streams")
+    ]
     return [
         ExperimentResult(
             title=f"Dyadic cost (streams served) on Poisson lam={lam}, "
@@ -56,8 +80,21 @@ def run_ablation_dyadic(
             headers=("alpha", "beta", "streams served (mean)"),
             rows=rows,
             notes=["alpha = phi is competitive with alpha = 2, as [4] found."],
+            columns=sweep.columns_json(),
         )
     ]
+
+
+def ablation_online_tree_spec(
+    L: int, n: int, sizes: Sequence[int]
+) -> SweepSpec:
+    return SweepSpec(
+        name="ablation-online-tree",
+        evaluator=static_tree_point,
+        axes=[Axis("size", tuple(sizes))],
+        fixed={"L": int(L), "n": int(n)},
+        metrics=("cost", "is_fib"),
+    )
 
 
 @register(
@@ -71,24 +108,26 @@ def run_ablation_online_tree(
 ) -> List[ExperimentResult]:
     h = tree_size_index(L)
     fh = fib(h)
-    sizes = sorted(
-        {fib(h - 1), fh - 10, fh - 3, fh - 1, fh, fh + 1, fh + 3, fh + 10, fib(h + 1)}
-        | set(extra_sizes)
-    )
-    opt = optimal_full_cost(L, n)
-    rows = []
-    for size in sizes:
-        if size < 1 or size > L - 1:
-            continue
-        cost = _static_tree_cost(L, n, size)
-        rows.append(
-            (
-                size,
-                "F_h" if size == fh else ("F" if _is_fib(size) else ""),
-                cost,
-                round(cost / opt, 5),
-            )
+    sizes = [
+        size
+        for size in sorted(
+            {fib(h - 1), fh - 10, fh - 3, fh - 1, fh, fh + 1, fh + 3, fh + 10,
+             fib(h + 1)}
+            | set(extra_sizes)
         )
+        if 1 <= size <= L - 1
+    ]
+    opt = optimal_full_cost(L, n)
+    sweep = run_sweep(ablation_online_tree_spec(L, n, sizes))
+    rows = [
+        (
+            size,
+            "F_h" if size == fh else ("F" if is_fib else ""),
+            cost,
+            round(cost / opt, 5),
+        )
+        for size, cost, is_fib in sweep.rows("size", "cost", "is_fib")
+    ]
     return [
         ExperimentResult(
             title=f"Static-tree policy cost by tree size (L={L}, n={n}; "
@@ -96,19 +135,20 @@ def run_ablation_online_tree(
             headers=("tree size", "fib?", "cost", "cost/optimal"),
             rows=rows,
             notes=["Shape target: minimum at (or adjacent to) F_h."],
+            columns=sweep.columns_json(),
         )
     ]
 
 
-def _is_fib(x: int) -> bool:
-    from ..core.fibonacci import is_fib
-
-    return is_fib(x)
-
-
-def _static_tree_cost(L: int, n: int, size: int) -> int:
-    """Cost of repeating the optimal ``size``-tree over n arrivals."""
-    return online_full_cost(L, n, tree_size=size)
+def complexity_spec(ns: Sequence[int]) -> SweepSpec:
+    # Wall-clock measurements are not reproducible artifacts: never cache.
+    return SweepSpec(
+        name="complexity",
+        evaluator=construction_timing_point,
+        axes=[Axis("n", tuple(ns))],
+        metrics=("t_fast", "t_dp", "m"),
+        cacheable=False,
+    )
 
 
 @register(
@@ -120,23 +160,17 @@ def _static_tree_cost(L: int, n: int, size: int) -> int:
 def run_complexity(
     ns: Sequence[int] = (200, 400, 800, 1600, 3200),
 ) -> List[ExperimentResult]:
-    rows = []
-    for n in ns:
-        t0 = time.perf_counter()
-        tree_fast = build_optimal_tree(n)
-        t_fast = time.perf_counter() - t0
-        t0 = time.perf_counter()
-        dp.merge_cost_table(n)
-        t_dp = time.perf_counter() - t0
-        rows.append(
-            (
-                n,
-                round(t_fast * 1e3, 3),
-                round(t_dp * 1e3, 3),
-                round(t_dp / t_fast, 1) if t_fast > 0 else "-",
-                int(tree_fast.merge_cost()),
-            )
+    sweep = run_sweep(complexity_spec(ns))
+    rows = [
+        (
+            n,
+            round(t_fast * 1e3, 3),
+            round(t_dp * 1e3, 3),
+            round(t_dp / t_fast, 1) if t_fast > 0 else "-",
+            m,
         )
+        for n, t_fast, t_dp, m in sweep.rows("n", "t_fast", "t_dp", "m")
+    ]
     return [
         ExperimentResult(
             title="Optimal tree construction: Theorem 7 O(n) vs [6] DP O(n^2)",
@@ -150,6 +184,16 @@ def run_complexity(
     ]
 
 
+def buffer_spec(L: int, n: int, Bs: Sequence[int]) -> SweepSpec:
+    return SweepSpec(
+        name="buffer",
+        evaluator=bounded_buffer_point,
+        axes=[Axis("B", tuple(B for B in Bs if 2 * B <= L))],
+        fixed={"L": int(L), "n": int(n)},
+        metrics=("cost",),
+    )
+
+
 @register(
     "buffer",
     "Bounded client buffers (Section 3.3 / Theorem 16)",
@@ -160,12 +204,11 @@ def run_buffer(
     L: int = 100, n: int = 2000, Bs: Sequence[int] = (1, 2, 5, 10, 20, 35, 50)
 ) -> List[ExperimentResult]:
     unbounded = optimal_full_cost(L, n)
-    rows = []
-    for B in Bs:
-        if 2 * B > L:
-            continue
-        cost = optimal_bounded_full_cost(L, n, B)
-        rows.append((B, cost, round(cost / unbounded, 4)))
+    sweep = run_sweep(buffer_spec(L, n, Bs))
+    rows = [
+        (B, cost, round(cost / unbounded, 4))
+        for B, cost in sweep.rows("B", "cost")
+    ]
     return [
         ExperimentResult(
             title=f"B-bounded optimal full cost (L={L}, n={n}; "
@@ -177,5 +220,6 @@ def run_buffer(
                 "unbounded cost once B reaches the unbounded optimum's "
                 "largest tree span.",
             ],
+            columns=sweep.columns_json(),
         )
     ]

@@ -7,6 +7,9 @@
   full cost is ``n log_phi L + Theta(n)``, so the gain grows as
   ``Theta(L / log L)`` (Theorem 14).
 * ``thm8``: sandwich check of ``M(n)`` between the Eq. (9)/(10) bounds.
+
+All three are sweep-tier drivers: one-axis grids over ``n`` (or ``L``)
+evaluated by the closed-form cost kernels.
 """
 
 from __future__ import annotations
@@ -14,13 +17,33 @@ from __future__ import annotations
 from typing import List, Sequence
 
 from ..core import bounds
-from ..core.full_cost import optimal_full_cost
-from ..core.offline import merge_cost
-from ..core.receive_all import (
-    merge_cost_receive_all,
-    optimal_full_cost_receive_all,
+from ..sweeps import Axis, SweepSpec, run_sweep
+from ..sweeps.evaluators import (
+    batching_gain_point,
+    full_cost_ratio_point,
+    merge_ratio_point,
+    merge_sandwich_point,
 )
 from .harness import ExperimentResult, register
+
+
+def thm19_merge_spec(ns: Sequence[int]) -> SweepSpec:
+    return SweepSpec(
+        name="thm19-merge",
+        evaluator=merge_ratio_point,
+        axes=[Axis("n", tuple(ns))],
+        metrics=("m", "mw"),
+    )
+
+
+def thm19_full_spec(Ls: Sequence[int], full_cost_n_factor: int) -> SweepSpec:
+    return SweepSpec(
+        name="thm19-full",
+        evaluator=full_cost_ratio_point,
+        axes=[Axis("L", tuple(Ls))],
+        fixed={"n_factor": int(full_cost_n_factor)},
+        metrics=("n", "f2", "fa"),
+    )
 
 
 @register(
@@ -35,29 +58,40 @@ def run_thm19(
     full_cost_n_factor: int = 50,
 ) -> List[ExperimentResult]:
     limit = bounds.RECEIVE_ALL_GAIN
+    merge_sweep = run_sweep(thm19_merge_spec(ns))
     rows = [
-        (n, merge_cost(n), merge_cost_receive_all(n),
-         round(merge_cost(n) / merge_cost_receive_all(n), 5))
-        for n in ns
+        (n, m, mw, round(m / mw, 5))
+        for n, m, mw in merge_sweep.rows("n", "m", "mw")
     ]
     res_merge = ExperimentResult(
         title=f"M(n) / Mw(n) (limit log_phi 2 = {limit:.5f})",
         headers=("n", "M(n)", "Mw(n)", "ratio"),
         rows=rows,
+        columns=merge_sweep.columns_json(),
     )
-    rows_full = []
-    for L in Ls:
-        n = full_cost_n_factor * L
-        f2 = optimal_full_cost(L, n)
-        fa = optimal_full_cost_receive_all(L, n)
-        rows_full.append((L, n, f2, fa, round(f2 / fa, 5)))
+    full_sweep = run_sweep(thm19_full_spec(Ls, full_cost_n_factor))
+    rows_full = [
+        (L, n, f2, fa, round(f2 / fa, 5))
+        for L, n, f2, fa in full_sweep.rows("L", "n", "f2", "fa")
+    ]
     res_full = ExperimentResult(
         title="F(L,n) / Fw(L,n) for n = "
         f"{full_cost_n_factor} L (Theorem 20; limit {limit:.5f})",
         headers=("L", "n", "F(L,n)", "Fw(L,n)", "ratio"),
         rows=rows_full,
+        columns=full_sweep.columns_json(),
     )
     return [res_merge, res_full]
+
+
+def thm14_spec(Ls: Sequence[int], n_factor: int) -> SweepSpec:
+    return SweepSpec(
+        name="thm14",
+        evaluator=batching_gain_point,
+        axes=[Axis("L", tuple(Ls))],
+        fixed={"n_factor": int(n_factor)},
+        metrics=("n", "batching", "merged", "order"),
+    )
 
 
 @register(
@@ -70,15 +104,16 @@ def run_thm14(
     Ls: Sequence[int] = (4, 8, 16, 32, 64, 128, 256, 512, 1024),
     n_factor: int = 20,
 ) -> List[ExperimentResult]:
+    sweep = run_sweep(thm14_spec(Ls, n_factor))
     rows = []
-    for L in Ls:
-        n = n_factor * L
-        batching = bounds.batching_cost(L, n)
-        merged = optimal_full_cost(L, n)
+    for L, n, batching, merged, order in sweep.rows(
+        "L", "n", "batching", "merged", "order"
+    ):
         gain = batching / merged
-        order = bounds.batching_gain_order(L)
-        rows.append((L, n, batching, merged, round(gain, 3), round(order, 3),
-                     round(gain / order, 4)))
+        rows.append(
+            (L, n, batching, merged, round(gain, 3), round(order, 3),
+             round(gain / order, 4))
+        )
     return [
         ExperimentResult(
             title="Batching nL vs optimal F(L,n): measured gain vs L/log_phi L",
@@ -89,8 +124,18 @@ def run_thm14(
                 "Shape target: gain/order approaches a constant (Theta-ratio "
                 "stabilises) as L grows.",
             ],
+            columns=sweep.columns_json(),
         )
     ]
+
+
+def thm8_spec(ns: Sequence[int]) -> SweepSpec:
+    return SweepSpec(
+        name="thm8",
+        evaluator=merge_sandwich_point,
+        axes=[Axis("n", tuple(ns))],
+        metrics=("lower", "m", "upper", "normalised"),
+    )
 
 
 @register(
@@ -102,19 +147,19 @@ def run_thm14(
 def run_thm8(
     ns: Sequence[int] = (10, 100, 1000, 10_000, 100_000, 1_000_000),
 ) -> List[ExperimentResult]:
+    sweep = run_sweep(thm8_spec(ns))
     rows = []
-    for n in ns:
-        m = merge_cost(n)
-        lo = bounds.merge_cost_lower(n)
-        hi = bounds.merge_cost_upper(n)
+    for n, lo, m, hi, normalised in sweep.rows(
+        "n", "lower", "m", "upper", "normalised"
+    ):
         ok = lo <= m <= hi
-        rows.append((n, round(lo, 1), m, round(hi, 1),
-                     round(m / (n * bounds.log_phi(n)), 5),
+        rows.append((n, round(lo, 1), m, round(hi, 1), round(normalised, 5),
                      "ok" if ok else "VIOLATION"))
     return [
         ExperimentResult(
             title="Eq. (10) <= M(n) <= Eq. (9); M(n)/(n log_phi n) -> 1",
             headers=("n", "lower", "M(n)", "upper", "M/(n log_phi n)", "status"),
             rows=rows,
+            columns=sweep.columns_json(),
         )
     ]

@@ -7,6 +7,12 @@
   when quiet) on a day/night workload, against both pure policies.
 * ``general-offline`` — the true clairvoyant optimum over non-empty slots
   (from [6]) scoring the on-line heuristics on sparse workloads.
+
+``multiplex`` and ``general-offline`` are grids (delay axis, intensity
+axis) and run as sweeps through the batched tier.  ``hybrid`` is
+genuinely non-grid: one workload, three policies, and the hybrid's
+rate-window mode feedback keeps it event-driven by design (see
+:mod:`repro.fleet.engine`) — it stays a direct driver.
 """
 
 from __future__ import annotations
@@ -14,12 +20,33 @@ from __future__ import annotations
 from typing import List, Sequence
 
 from ..arrivals import ArrivalTrace, poisson
-from ..baselines.batching import batched_dyadic_cost
-from ..core.general import optimal_full_cost_general
-from ..multiplex import Catalog, catalog_workload, min_delay_for_budget, serve_catalog
+from ..multiplex import Catalog, min_delay_for_budget
 from ..simulation import DelayGuaranteedPolicy, ImmediateDyadicPolicy, Simulation
 from ..simulation.hybrid import HybridPolicy
+from ..sweeps import Axis, SweepSpec, run_sweep
+from ..sweeps.evaluators import general_offline_point, multiplex_point
 from .harness import ExperimentResult, register
+
+
+def multiplex_spec(
+    titles: int,
+    horizon_minutes: float,
+    mean_interarrival_minutes: float,
+    delays: Sequence[float],
+    seed: int,
+) -> SweepSpec:
+    return SweepSpec(
+        name="multiplex",
+        evaluator=multiplex_point,
+        axes=[Axis("delay", tuple(delays))],
+        fixed={
+            "titles": int(titles),
+            "horizon": float(horizon_minutes),
+            "mean_interarrival": float(mean_interarrival_minutes),
+            "seed": int(seed),
+        },
+        metrics=("dg_peak", "dg_units", "dy_peak", "dy_units"),
+    )
 
 
 @register(
@@ -36,26 +63,25 @@ def run_multiplex(
     delays: Sequence[float] = (2.0, 5.0, 10.0, 15.0, 30.0),
     seed: int = 7,
 ) -> List[ExperimentResult]:
-    catalog = Catalog.zipf(titles, duration_minutes=120.0, exponent=0.8)
-    workload = catalog_workload(
-        catalog, mean_interarrival_minutes, horizon_minutes, seed=seed
+    sweep = run_sweep(
+        multiplex_spec(
+            titles, horizon_minutes, mean_interarrival_minutes, delays, seed
+        )
     )
-    rows = []
-    for delay in delays:
-        dg = serve_catalog(catalog, delay, horizon_minutes, policy="dg")
-        dy = serve_catalog(
-            catalog, delay, horizon_minutes, policy="dyadic", workload=workload
+    rows = [
+        (
+            delay,
+            dg_peak,
+            round(dg_units / 60.0, 1),
+            dy_peak,
+            round(dy_units / 60.0, 1),
         )
-        rows.append(
-            (
-                delay,
-                dg.peak_channels,
-                round(dg.total_units_minutes / 60.0, 1),
-                dy.peak_channels,
-                round(dy.total_units_minutes / 60.0, 1),
-            )
+        for delay, dg_peak, dg_units, dy_peak, dy_units in sweep.rows(
+            "delay", "dg_peak", "dg_units", "dy_peak", "dy_units"
         )
+    ]
     budget = rows[len(rows) // 2][1]  # mid-grid DG peak as the budget
+    catalog = Catalog.zipf(titles, duration_minutes=120.0, exponent=0.8)
     chosen = min_delay_for_budget(catalog, horizon_minutes, budget, delays)
     return [
         ExperimentResult(
@@ -75,6 +101,7 @@ def run_multiplex(
                 f"min_delay_for_budget(budget={budget} channels) -> "
                 f"{chosen} min.",
             ],
+            columns=sweep.columns_json(),
         )
     ]
 
@@ -131,6 +158,18 @@ def run_hybrid(
     ]
 
 
+def general_offline_spec(
+    L: int, lams: Sequence[float], horizon: float, seed: int
+) -> SweepSpec:
+    return SweepSpec(
+        name="general-offline",
+        evaluator=general_offline_point,
+        axes=[Axis("lam", tuple(lams))],
+        fixed={"L": int(L), "horizon": float(horizon), "seed": int(seed)},
+        metrics=("skip", "served_slots", "opt", "dyadic", "dg"),
+    )
+
+
 @register(
     "general-offline",
     "True offline optimum vs on-line heuristics on sparse workloads",
@@ -144,21 +183,17 @@ def run_general_offline(
     horizon: float = 400.0,
     seed: int = 1,
 ) -> List[ExperimentResult]:
-    from ..core.online import online_full_cost
-
+    sweep = run_sweep(general_offline_spec(L, lams, horizon, seed))
     rows = []
-    for lam in lams:
-        trace = poisson(lam, horizon, seed=seed)
-        if len(trace) < 2:
+    for lam, skip, served, opt, dyadic, dg in sweep.rows(
+        "lam", "skip", "served_slots", "opt", "dyadic", "dg"
+    ):
+        if skip:
             continue
-        ends = trace.slot_end_times(1.0)
-        opt = optimal_full_cost_general(ends, L)
-        dyadic = batched_dyadic_cost(trace, L)
-        dg = online_full_cost(L, int(horizon))
         rows.append(
             (
                 lam,
-                len(ends),
+                served,
                 round(opt, 1),
                 round(dyadic, 1),
                 round(dyadic / opt, 4),
@@ -184,5 +219,6 @@ def run_general_offline(
                 "Shape target: dyadic within a modest factor of optimal; "
                 "DG's overhead grows with sparsity (it serves every slot).",
             ],
+            columns=sweep.columns_json(),
         )
     ]

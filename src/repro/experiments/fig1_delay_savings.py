@@ -11,6 +11,11 @@ Both the optimal off-line algorithm (Theorem 12) and the on-line Delay
 Guaranteed algorithm are plotted; the paper's observation is that the
 curves nearly coincide and fall steeply as delay grows.  Pure batching
 (one full stream per slot = ``n`` streams) is included for scale.
+
+Sweep-tier driver: the grid is a one-axis :class:`~repro.sweeps.SweepSpec`
+over the delay percentage, each point evaluated by the closed-form
+``Fcost``/``Acost`` kernels (no forest is built); :func:`run_fig1_reference`
+keeps the retired per-point loop as the benchmark oracle.
 """
 
 from __future__ import annotations
@@ -19,6 +24,8 @@ from typing import List, Sequence
 
 from ..core.full_cost import optimal_full_cost
 from ..core.online import online_full_cost
+from ..sweeps import Axis, SweepSpec, run_sweep
+from ..sweeps.evaluators import delay_savings_point
 from .charts import render_chart
 from .harness import ExperimentResult, register
 
@@ -26,36 +33,19 @@ from .harness import ExperimentResult, register
 DEFAULT_DELAYS = (0.5, 1.0, 2.0, 2.5, 4.0, 5.0, 10.0, 12.5, 20.0)
 
 
-@register(
-    "fig1",
-    "Bandwidth savings vs guaranteed start-up delay (Fig. 1)",
-    "Fig. 1",
-    "Off-line optimal F(L,n)/L and on-line A(L,n)/L over a 100-media-length "
-    "horizon as the delay grows.",
-)
-def run_fig1(
-    delays_pct: Sequence[float] = DEFAULT_DELAYS,
-    horizon_media: int = 100,
-) -> List[ExperimentResult]:
-    rows = []
-    for pct in delays_pct:
-        if not 0 < pct <= 100:
-            raise ValueError(f"delay percent must be in (0, 100], got {pct}")
-        L = max(1, round(100.0 / pct))
-        n = horizon_media * L
-        f_opt = optimal_full_cost(L, n)
-        a_onl = online_full_cost(L, n)
-        rows.append(
-            (
-                pct,
-                L,
-                n,
-                round(f_opt / L, 2),
-                round(a_onl / L, 2),
-                n,  # batching: one full stream per slot
-                round(a_onl / f_opt, 4),
-            )
-        )
+def fig1_spec(
+    delays_pct: Sequence[float] = DEFAULT_DELAYS, horizon_media: int = 100
+) -> SweepSpec:
+    return SweepSpec(
+        name="fig1",
+        evaluator=delay_savings_point,
+        axes=[Axis("pct", tuple(delays_pct))],
+        fixed={"horizon_media": int(horizon_media)},
+        metrics=("L", "n", "offline_cost", "online_cost"),
+    )
+
+
+def _format(rows, horizon_media: int, columns=None) -> List[ExperimentResult]:
     return [
         ExperimentResult(
             title="Streams served vs start-up delay (horizon = "
@@ -84,5 +74,56 @@ def run_fig1(
                     logy=True,
                 ),
             ],
+            columns=columns,
         )
     ]
+
+
+def _row(pct, L, n, f_opt, a_onl):
+    return (
+        pct,
+        L,
+        n,
+        round(f_opt / L, 2),
+        round(a_onl / L, 2),
+        n,  # batching: one full stream per slot
+        round(a_onl / f_opt, 4),
+    )
+
+
+@register(
+    "fig1",
+    "Bandwidth savings vs guaranteed start-up delay (Fig. 1)",
+    "Fig. 1",
+    "Off-line optimal F(L,n)/L and on-line A(L,n)/L over a 100-media-length "
+    "horizon as the delay grows.",
+)
+def run_fig1(
+    delays_pct: Sequence[float] = DEFAULT_DELAYS,
+    horizon_media: int = 100,
+) -> List[ExperimentResult]:
+    sweep = run_sweep(fig1_spec(delays_pct, horizon_media))
+    rows = [
+        _row(*vals)
+        for vals in sweep.rows("pct", "L", "n", "offline_cost", "online_cost")
+    ]
+    return _format(rows, horizon_media, columns=sweep.columns_json())
+
+
+def run_fig1_reference(
+    delays_pct: Sequence[float] = DEFAULT_DELAYS,
+    horizon_media: int = 100,
+) -> List[ExperimentResult]:
+    """The retired per-point loop (flat-forest ``Acost`` built per point).
+
+    Benchmark oracle only: ``benchmarks/bench_experiments.py`` asserts its
+    rows equal the sweep driver's before timing either.
+    """
+    rows = []
+    for pct in delays_pct:
+        if not 0 < pct <= 100:
+            raise ValueError(f"delay percent must be in (0, 100], got {pct}")
+        L = max(1, round(100.0 / pct))
+        n = horizon_media * L
+        rows.append(_row(pct, L, n, optimal_full_cost(L, n), online_full_cost(L, n)))
+    return _format(rows, horizon_media)

@@ -3,14 +3,28 @@
 Theorem 3 characterises ``I(n)`` as one of three Fibonacci intervals; the
 experiment prints the closed-form interval next to the DP argmin set and
 the Theorem 3 case, confirming they coincide for every n.
+
+Sweep-tier driver: a one-axis :class:`~repro.sweeps.SweepSpec` over ``n``;
+each point scans the *memoised* fastpath cost table for its argmin set
+(O(n) per point) instead of re-running the O(n^2) DP for the whole grid.
 """
 
 from __future__ import annotations
 
 from typing import List
 
-from ..core import dp, offline
+from ..sweeps import Axis, SweepSpec, run_sweep
+from ..sweeps.evaluators import root_interval_point
 from .harness import ExperimentResult, register
+
+
+def fig8_spec(n_max: int = 55) -> SweepSpec:
+    return SweepSpec(
+        name="fig8",
+        evaluator=root_interval_point,
+        axes=[Axis("n", tuple(range(2, n_max + 1)))],
+        metrics=("lo", "hi", "k", "m", "case", "dp_lo", "dp_hi", "contiguous"),
+    )
 
 
 @register(
@@ -20,14 +34,11 @@ from .harness import ExperimentResult, register
     "Closed-form I_i(n) intervals vs exhaustive DP argmin sets.",
 )
 def run_fig8(n_max: int = 55) -> List[ExperimentResult]:
-    sets = dp.argmin_sets(n_max)
+    sweep = run_sweep(fig8_spec(n_max))
     rows = []
-    for n in range(2, n_max + 1):
-        lo, hi = offline.root_merge_interval(n)
-        k, m, case = offline.interval_case(n)
-        dp_set = sets[n - 1]
-        dp_lo, dp_hi = dp_set[0], dp_set[-1]
-        contiguous = dp_set == list(range(dp_lo, dp_hi + 1))
+    for n, lo, hi, k, m, case, dp_lo, dp_hi, contiguous in sweep.rows(
+        "n", "lo", "hi", "k", "m", "case", "dp_lo", "dp_hi", "contiguous"
+    ):
         match = "ok" if (contiguous and (lo, hi) == (dp_lo, dp_hi)) else "MISMATCH"
         rows.append(
             (n, f"[{lo},{hi}]", f"[{dp_lo},{dp_hi}]", f"F_{k}+{m}", f"I{case}", match)
@@ -41,5 +52,6 @@ def run_fig8(n_max: int = 55) -> List[ExperimentResult]:
                 "Each I(n) is a contiguous interval; pattern follows the "
                 "Fibonacci decomposition of n exactly as Fig. 8 shows."
             ],
+            columns=sweep.columns_json(),
         )
     ]

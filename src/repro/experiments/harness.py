@@ -9,7 +9,7 @@ smaller parameters.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 __all__ = [
     "ExperimentResult",
@@ -25,12 +25,19 @@ _REGISTRY: Dict[str, "Experiment"] = {}
 
 @dataclass
 class ExperimentResult:
-    """A titled table plus free-form notes."""
+    """A titled table plus free-form notes.
+
+    Sweep-backed experiments additionally attach the raw columnar payload
+    (:meth:`repro.sweeps.SweepResult.columns_json`) as :attr:`columns`;
+    the report writer includes it in the saved JSON so downstream tooling
+    gets unrounded column arrays next to the formatted rows.
+    """
 
     title: str
     headers: Sequence[str]
     rows: List[Sequence[object]]
     notes: List[str] = field(default_factory=list)
+    columns: Optional[Dict[str, object]] = None
 
     def render(self) -> str:
         out = [self.title, "=" * len(self.title), ""]

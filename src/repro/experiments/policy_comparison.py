@@ -13,9 +13,13 @@ server bandwidth (in complete-media-stream units):
   constant rate) — clients wait for their slot end; empty slots idle;
 * the Delay Guaranteed on-line algorithm — a stream every slot regardless.
 
-Costs are computed from the algorithms' merge forests (the event-driven
-simulator produces identical totals — asserted in the integration tests —
-but the closed computation keeps full-size sweeps fast).
+Sweep-tier driver: the intensity grid is a one-axis
+:class:`~repro.sweeps.SweepSpec`; each point runs the dyadic policies
+through the batched fleet kernel (:func:`repro.fleet.simulate_batched`)
+and takes DG from the closed-form ``Acost`` (intensity-independent).
+The event-driven simulator produces identical totals — asserted in the
+integration tests — and :func:`run_fig12_reference` keeps the retired
+per-point loop as the benchmark oracle.
 
 Expected shape (the paper's findings): DG is flat in ``lam``; immediate
 dyadic is worst for ``lam < delay`` (no batching savings) and best for
@@ -28,13 +32,8 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
-import numpy as np
-
-from ..arrivals import constant_rate, poisson
-from ..baselines.batching import batched_dyadic_cost, pure_batching_cost
-from ..baselines.dyadic import DyadicParams, dyadic_cost, paper_beta
-from ..core.fibonacci import PHI
-from ..core.online import online_full_cost
+from ..sweeps import Axis, SweepSpec, run_sweep
+from ..sweeps.evaluators import policy_comparison_point
 from .charts import render_chart
 from .harness import ExperimentResult, register
 
@@ -53,60 +52,43 @@ def compare_policies(
 
     ``lam`` and ``horizon`` are in slot units (slot = the start-up delay;
     with L=100 one slot is 1% of the media, so ``lam`` in slots equals the
-    paper's 'percentage of media length' axis).
+    paper's 'percentage of media length' axis).  Thin wrapper over the
+    sweep evaluator (kept for the examples and tests that call it
+    directly).
     """
-    if kind not in ("constant", "poisson"):
-        raise ValueError(f"unknown arrival kind {kind!r}")
-    n_slots = int(np.ceil(horizon))
-    dg = online_full_cost(L, n_slots) / L
-
-    dyadic_params = DyadicParams(alpha=PHI, beta=0.5)
-    batched_params = DyadicParams(alpha=PHI, beta=paper_beta(L, kind))
-
-    imm_vals, bat_vals, pure_vals = [], [], []
-    for seed in seeds:
-        if kind == "constant":
-            trace = constant_rate(lam, horizon)
-        else:
-            trace = poisson(lam, horizon, seed=seed)
-        if len(trace) == 0:
-            continue
-        imm_vals.append(dyadic_cost(list(trace), L, dyadic_params) / L)
-        bat_vals.append(batched_dyadic_cost(trace, L, 1.0, batched_params) / L)
-        if include_batching:
-            pure_vals.append(pure_batching_cost(trace, L) / L)
-        if kind == "constant":
-            break  # deterministic; one rep suffices
-    out = {
-        "lam": lam,
-        "immediate_dyadic": float(np.mean(imm_vals)) if imm_vals else 0.0,
-        "batched_dyadic": float(np.mean(bat_vals)) if bat_vals else 0.0,
-        "delay_guaranteed": dg,
-    }
-    if include_batching:
-        out["pure_batching"] = float(np.mean(pure_vals)) if pure_vals else 0.0
-    return out
+    out = policy_comparison_point(
+        lam=lam,
+        L=L,
+        horizon=horizon,
+        kind=kind,
+        seeds=tuple(seeds),
+        include_batching=include_batching,
+    )
+    return {"lam": lam, **out}
 
 
-def _run_comparison(
+def comparison_spec(
     kind: str,
     L: int,
     lambdas: Sequence[float],
     horizon_media: int,
     seeds: Sequence[int],
-) -> List[ExperimentResult]:
-    horizon = float(horizon_media * L)
-    rows = []
-    for lam in lambdas:
-        r = compare_policies(L, lam, horizon, kind, seeds)
-        rows.append(
-            (
-                lam,
-                round(r["immediate_dyadic"], 2),
-                round(r["batched_dyadic"], 2),
-                round(r["delay_guaranteed"], 2),
-            )
-        )
+) -> SweepSpec:
+    return SweepSpec(
+        name=f"policy-comparison-{kind}",
+        evaluator=policy_comparison_point,
+        axes=[Axis("lam", tuple(lambdas))],
+        fixed={
+            "L": int(L),
+            "horizon": float(horizon_media * L),
+            "kind": kind,
+            "seeds": tuple(seeds),
+        },
+        metrics=("immediate_dyadic", "batched_dyadic", "delay_guaranteed"),
+    )
+
+
+def _table(kind: str, L: int, horizon_media: int, rows, columns=None):
     pretty = "constant rate" if kind == "constant" else "Poisson"
     return [
         ExperimentResult(
@@ -134,8 +116,88 @@ def _run_comparison(
                     x_label="mean inter-arrival (% of media length)",
                 ),
             ],
+            columns=columns,
         )
     ]
+
+
+def _run_comparison(
+    kind: str,
+    L: int,
+    lambdas: Sequence[float],
+    horizon_media: int,
+    seeds: Sequence[int],
+) -> List[ExperimentResult]:
+    sweep = run_sweep(comparison_spec(kind, L, lambdas, horizon_media, seeds))
+    rows = [
+        (lam, round(imm, 2), round(bat, 2), round(dg, 2))
+        for lam, imm, bat, dg in sweep.rows(
+            "lam", "immediate_dyadic", "batched_dyadic", "delay_guaranteed"
+        )
+    ]
+    return _table(kind, L, horizon_media, rows, columns=sweep.columns_json())
+
+
+def _compare_policies_reference(
+    L: int, lam: float, horizon: float, kind: str, seeds: Sequence[int]
+) -> dict:
+    """The retired per-point computation: per-point flat-forest ``Acost``
+    plus the baseline cost helpers (benchmark oracle only)."""
+    import numpy as np
+
+    from ..arrivals import constant_rate, poisson
+    from ..baselines.batching import batched_dyadic_cost
+    from ..baselines.dyadic import DyadicParams, dyadic_cost, paper_beta
+    from ..core.fibonacci import PHI
+    from ..core.online import online_full_cost
+
+    if kind not in ("constant", "poisson"):
+        raise ValueError(f"unknown arrival kind {kind!r}")
+    n_slots = int(np.ceil(horizon))
+    dg = online_full_cost(L, n_slots) / L
+    dyadic_params = DyadicParams(alpha=PHI, beta=0.5)
+    batched_params = DyadicParams(alpha=PHI, beta=paper_beta(L, kind))
+    imm_vals, bat_vals = [], []
+    for seed in seeds:
+        if kind == "constant":
+            trace = constant_rate(lam, horizon)
+        else:
+            trace = poisson(lam, horizon, seed=seed)
+        if len(trace) == 0:
+            continue
+        imm_vals.append(dyadic_cost(list(trace), L, dyadic_params) / L)
+        bat_vals.append(batched_dyadic_cost(trace, L, 1.0, batched_params) / L)
+        if kind == "constant":
+            break
+    return {
+        "lam": lam,
+        "immediate_dyadic": float(np.mean(imm_vals)) if imm_vals else 0.0,
+        "batched_dyadic": float(np.mean(bat_vals)) if bat_vals else 0.0,
+        "delay_guaranteed": dg,
+    }
+
+
+def _run_comparison_reference(
+    kind: str,
+    L: int,
+    lambdas: Sequence[float],
+    horizon_media: int,
+    seeds: Sequence[int],
+) -> List[ExperimentResult]:
+    """The retired per-point loop (benchmark oracle)."""
+    horizon = float(horizon_media * L)
+    rows = []
+    for lam in lambdas:
+        r = _compare_policies_reference(L, lam, horizon, kind, seeds)
+        rows.append(
+            (
+                lam,
+                round(r["immediate_dyadic"], 2),
+                round(r["batched_dyadic"], 2),
+                round(r["delay_guaranteed"], 2),
+            )
+        )
+    return _table(kind, L, horizon_media, rows)
 
 
 @register(
@@ -167,3 +229,13 @@ def run_fig12(
     seeds: Sequence[int] = (0, 1, 2),
 ) -> List[ExperimentResult]:
     return _run_comparison("poisson", L, lambdas, horizon_media, seeds=seeds)
+
+
+def run_fig12_reference(
+    L: int = 100,
+    lambdas: Sequence[float] = DEFAULT_LAMBDAS,
+    horizon_media: int = 100,
+    seeds: Sequence[int] = (0, 1, 2),
+) -> List[ExperimentResult]:
+    """Per-point reference loop for Fig. 12 (benchmark oracle)."""
+    return _run_comparison_reference("poisson", L, lambdas, horizon_media, seeds)

@@ -20,19 +20,25 @@ __all__ = ["save_results", "results_to_json"]
 
 def results_to_json(exp_id: str, results: List[ExperimentResult]) -> str:
     """Machine-readable dump of an experiment's tables."""
+    tables = []
+    for res in results:
+        table = {
+            "title": res.title,
+            "headers": list(res.headers),
+            "rows": [list(row) for row in res.rows],
+            "notes": [n for n in res.notes if not n.startswith("\n")],
+        }
+        if res.columns is not None:
+            # Sweep-backed tables also carry the raw columnar arrays
+            # (unrounded metrics, axis values) for plotting/regression
+            # tooling that wants numbers, not formatted cells.
+            table["columns"] = res.columns
+        tables.append(table)
     payload = {
         "schema": "repro.experiment-result.v1",
         "experiment": exp_id,
         "generated_unix": int(time.time()),
-        "tables": [
-            {
-                "title": res.title,
-                "headers": list(res.headers),
-                "rows": [list(row) for row in res.rows],
-                "notes": [n for n in res.notes if not n.startswith("\n")],
-            }
-            for res in results
-        ],
+        "tables": tables,
     }
     return json.dumps(payload, indent=2, default=str)
 

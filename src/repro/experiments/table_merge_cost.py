@@ -2,19 +2,46 @@
 
 Also cross-checks the closed forms (Eq. (6), Eq. (20)) against the O(n^2)
 dynamic programs of [6] — the exact-match core of the reproduction.
+
+Sweep-tier driver: one-axis sweeps over ``n``; the DP column reads the
+incrementally memoised fastpath cost tables (entry-for-entry equal to
+the quadratic reference DPs — property-tested in ``tests/fastpath``).
 """
 
 from __future__ import annotations
 
 from typing import List
 
-from ..core import dp, offline, receive_all
+from ..sweeps import Axis, SweepSpec, run_sweep
+from ..sweeps.evaluators import merge_cost_table_point, receive_all_table_point
 from .harness import ExperimentResult, register
 
 #: The table printed below Eq. (5) in the paper.
 PAPER_M = [0, 1, 3, 6, 9, 13, 17, 21, 26, 31, 36, 41, 46, 52, 58, 64]
 #: The table printed below Eq. (19).
 PAPER_MW = [0, 1, 3, 5, 8, 11, 14, 17, 21, 25, 29, 33, 37, 41, 45, 49]
+
+
+def _rows(sweep, paper_values):
+    rows = []
+    for n, closed, via_dp in sweep.rows("n", "closed", "via_dp"):
+        paper = paper_values[n - 1] if n <= len(paper_values) else ""
+        match = (
+            "ok"
+            if (closed == via_dp and (paper == "" or closed == paper))
+            else "MISMATCH"
+        )
+        rows.append((n, closed, via_dp, paper, match))
+    return rows
+
+
+def table_mn_spec(n_max: int = 16) -> SweepSpec:
+    return SweepSpec(
+        name="table-mn",
+        evaluator=merge_cost_table_point,
+        axes=[Axis("n", tuple(range(1, n_max + 1)))],
+        metrics=("closed", "via_dp"),
+    )
 
 
 @register(
@@ -24,21 +51,24 @@ PAPER_MW = [0, 1, 3, 5, 8, 11, 14, 17, 21, 25, 29, 33, 37, 41, 45, 49]
     "Closed form (Eq. 6) vs O(n^2) DP (Eq. 5) vs the paper's printed row.",
 )
 def run_table_mn(n_max: int = 16) -> List[ExperimentResult]:
-    dp_table = dp.merge_cost_table(n_max)
-    rows = []
-    for n in range(1, n_max + 1):
-        closed = offline.merge_cost(n)
-        via_dp = dp_table[n]
-        paper = PAPER_M[n - 1] if n <= len(PAPER_M) else ""
-        match = "ok" if (closed == via_dp and (paper == "" or closed == paper)) else "MISMATCH"
-        rows.append((n, closed, via_dp, paper, match))
+    sweep = run_sweep(table_mn_spec(n_max))
     return [
         ExperimentResult(
             title="M(n): closed form vs DP vs paper",
             headers=("n", "Eq.(6)", "DP Eq.(5)", "paper", "status"),
-            rows=rows,
+            rows=_rows(sweep, PAPER_M),
+            columns=sweep.columns_json(),
         )
     ]
+
+
+def table_mw_spec(n_max: int = 16) -> SweepSpec:
+    return SweepSpec(
+        name="table-mw",
+        evaluator=receive_all_table_point,
+        axes=[Axis("n", tuple(range(1, n_max + 1)))],
+        metrics=("closed", "via_dp"),
+    )
 
 
 @register(
@@ -48,18 +78,12 @@ def run_table_mn(n_max: int = 16) -> List[ExperimentResult]:
     "Closed form (Eq. 20) vs O(n^2) DP (Eq. 19) vs the paper's printed row.",
 )
 def run_table_mw(n_max: int = 16) -> List[ExperimentResult]:
-    dp_table = dp.receive_all_cost_table(n_max)
-    rows = []
-    for n in range(1, n_max + 1):
-        closed = receive_all.merge_cost_receive_all(n)
-        via_dp = dp_table[n]
-        paper = PAPER_MW[n - 1] if n <= len(PAPER_MW) else ""
-        match = "ok" if (closed == via_dp and (paper == "" or closed == paper)) else "MISMATCH"
-        rows.append((n, closed, via_dp, paper, match))
+    sweep = run_sweep(table_mw_spec(n_max))
     return [
         ExperimentResult(
             title="Mw(n): closed form vs DP vs paper",
             headers=("n", "Eq.(20)", "DP Eq.(19)", "paper", "status"),
-            rows=rows,
+            rows=_rows(sweep, PAPER_MW),
+            columns=sweep.columns_json(),
         )
     ]

@@ -16,9 +16,11 @@ from ..core.full_cost import (
     optimal_full_cost,
     optimal_stream_count,
 )
-from ..core.offline import build_optimal_tree, enumerate_optimal_trees, fibonacci_tree
+from ..core.offline import build_optimal_tree, fibonacci_tree
 from ..core.merge_tree import MergeForest
 from ..core.receiving_program import receive_two_program
+from ..sweeps import Axis, SweepSpec, run_sweep
+from ..sweeps.evaluators import tree_multiplicity_point
 from .harness import ExperimentResult, register
 
 
@@ -77,6 +79,15 @@ def run_fig3() -> List[ExperimentResult]:
     return [res_streams, res_prog]
 
 
+def fig67_spec(n_enum_max: int = 10) -> SweepSpec:
+    return SweepSpec(
+        name="fig6-7",
+        evaluator=tree_multiplicity_point,
+        axes=[Axis("n", tuple(range(2, n_enum_max + 1)))],
+        metrics=("count", "m"),
+    )
+
+
 @register(
     "fig6-7",
     "Optimal tree multiplicity (Fig. 6) and Fibonacci trees (Fig. 7)",
@@ -85,10 +96,8 @@ def run_fig3() -> List[ExperimentResult]:
     "Fibonacci sizes.",
 )
 def run_fig67(n_enum_max: int = 10) -> List[ExperimentResult]:
-    rows = []
-    for n in range(2, n_enum_max + 1):
-        trees = enumerate_optimal_trees(n)
-        rows.append((n, len(trees), trees[0].merge_cost()))
+    sweep = run_sweep(fig67_spec(n_enum_max))
+    rows = sweep.rows("n", "count", "m")
     res_counts = ExperimentResult(
         title="Number of optimal merge trees by n (exhaustive)",
         headers=("n", "# optimal trees", "M(n)"),
@@ -97,6 +106,7 @@ def run_fig67(n_enum_max: int = 10) -> List[ExperimentResult]:
             "n = 4 has exactly two optimal trees (Fig. 6); Fibonacci n "
             "(2, 3, 5, 8, ...) have exactly one (Fig. 7).",
         ],
+        columns=sweep.columns_json(),
     )
     renders = []
     for k in (4, 5, 6, 7):  # F_k = 3, 5, 8, 13

@@ -21,15 +21,22 @@ rare inversion can only make the answer conservative, never infeasible.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..multiplex.catalog import Catalog, MediaObject
-from ..multiplex.server import ObjectLoad, aggregate_peak, dg_object_load
+from ..multiplex.server import (
+    ObjectLoad,
+    _load_from_arrays,
+    aggregate_peak,
+    dg_object_load,
+)
 
 __all__ = [
     "default_delay_grid",
+    "dg_envelope",
     "dg_fleet_peak",
     "min_fleet_delay",
     "min_object_delay",
@@ -50,8 +57,43 @@ def default_delay_grid(
     return [float(d) for d in np.geomspace(lo, hi, points)]
 
 
+@lru_cache(maxsize=1024)
+def dg_envelope(L: int, n_slots: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The DG stream-interval envelope in slot units, memoised.
+
+    The envelope — ``(labels, starts, ends)`` of the static tiled
+    Fibonacci forest — depends only on ``(L, n_slots)``; a frontier
+    bisection probes many delays over one catalog, and every object
+    whose ``(units, slots)`` pair repeats (identical durations, repeated
+    delay probes, neighbouring budgets re-bracketing the same grid
+    points) reuses the arrays instead of rebuilding the forest.  The
+    returned arrays are marked read-only; callers scale *copies* into
+    minutes (``_load_from_arrays`` multiplies into fresh arrays).
+    """
+    from ..core.online import build_online_flat_forest
+
+    forest = build_online_flat_forest(L, n_slots)
+    labels, starts, ends = forest.intervals(L)
+    for a in (labels, starts, ends):
+        a.setflags(write=False)
+    return labels, starts, ends
+
+
 def _dg_loads(catalog: Catalog, delay: float, horizon: float) -> List[ObjectLoad]:
-    return [dg_object_load(obj, delay, horizon) for obj in catalog]
+    # Mirrors multiplex.server.dg_object_load point for point, but routes
+    # the forest build through the (L, n_slots) envelope memo — the
+    # unmemoised multiplex path stays the oracle the tests compare with.
+    if horizon <= 0:
+        raise ValueError("horizon must be positive")
+    loads = []
+    for obj in catalog:
+        L = obj.units(delay)
+        n_slots = max(1, int(np.ceil(horizon / delay)))
+        labels, starts, ends = dg_envelope(L, n_slots)
+        loads.append(
+            _load_from_arrays(obj.name, L, delay, labels, starts, ends, clients=0)
+        )
+    return loads
 
 
 def dg_fleet_peak(catalog: Catalog, delay_minutes: float, horizon_minutes: float) -> int:
@@ -113,11 +155,20 @@ def min_object_delay(
     """Smallest candidate delay for *one* object under a per-object budget."""
     if budget_channels < 1:
         raise ValueError("budget must be >= 1 channel")
+    if horizon_minutes <= 0:
+        raise ValueError("horizon must be positive")
     grid = sorted(delays if delays is not None else default_delay_grid())
-    idx = _bisect_smallest_feasible(
-        grid,
-        lambda d: dg_object_load(obj, d, horizon_minutes).peak <= budget_channels,
-    )
+
+    def feasible(d: float) -> bool:
+        labels, starts, ends = dg_envelope(
+            obj.units(d), max(1, int(np.ceil(horizon_minutes / d)))
+        )
+        load = _load_from_arrays(
+            obj.name, obj.units(d), d, labels, starts, ends, clients=0
+        )
+        return load.peak <= budget_channels
+
+    idx = _bisect_smallest_feasible(grid, feasible)
     return None if idx is None else grid[idx]
 
 

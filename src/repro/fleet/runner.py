@@ -25,9 +25,22 @@ Workloads come in two forms:
 
 from __future__ import annotations
 
+import contextlib
+import multiprocessing
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from multiprocessing import shared_memory
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
@@ -40,11 +53,35 @@ from .engine import FleetPolicy, simulate_batched
 __all__ = [
     "FleetObjectResult",
     "FleetReport",
+    "pool_map",
     "run_fleet",
     "fleet_profile",
 ]
 
 _EMPTY = np.empty(0, dtype=np.float64)
+
+
+def pool_map(
+    fn: Callable,
+    args: Sequence,
+    workers: int = 0,
+    chunksize: int = 4,
+) -> Iterator:
+    """Map ``fn`` over ``args``, optionally sharded across processes.
+
+    The shared fan-out/fold primitive of the fleet and sweep tiers:
+    ``workers <= 1`` runs in-process (deterministic, zero pool overhead);
+    larger values use a :class:`ProcessPoolExecutor`.  Results are always
+    yielded **in argument order** regardless of completion order, so any
+    fold over them is independent of the worker count.  ``fn`` and every
+    argument must be picklable (module-level functions only).
+    """
+    if workers and workers > 1:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            yield from pool.map(fn, args, chunksize=chunksize)
+    else:
+        for a in args:
+            yield fn(a)
 
 
 @dataclass(frozen=True)
@@ -167,6 +204,77 @@ def fleet_profile(
 # ---------------------------------------------------------------------------
 
 
+class _ShmSlice(NamedTuple):
+    """A view into a shared-memory float64 array: ``segment[start:stop]``.
+
+    When an explicit workload mapping is sharded across processes, the
+    parent concatenates every object's arrival times into **one**
+    :class:`multiprocessing.shared_memory.SharedMemory` segment and ships
+    each worker only this (name, start, stop) triple — the per-object
+    trace lists are never pickled.
+    """
+
+    name: str
+    start: int
+    stop: int
+
+
+def _read_shm_slice(view: _ShmSlice) -> np.ndarray:
+    """Copy one object's times out of the shared segment (worker side).
+
+    Attaching re-registers the name with the resource tracker; with the
+    fork start method the tracker (and its name *set*) is shared with the
+    parent, so the duplicate collapses and the parent's single ``unlink``
+    is the only cleanup — no per-worker unregister (racy: concurrent
+    unregisters of one name KeyError inside the tracker process).
+    """
+    shm = shared_memory.SharedMemory(name=view.name)
+    try:
+        flat = np.frombuffer(
+            shm.buf, dtype=np.float64, count=view.stop - view.start,
+            offset=view.start * 8,
+        )
+        times = flat.copy()
+        del flat  # release the exported buffer so close() cannot raise
+    finally:
+        shm.close()
+    return times
+
+
+def _share_workload(
+    catalog: Catalog, workload: Dict[str, ArrivalTrace]
+) -> Tuple[Optional[shared_memory.SharedMemory], Dict[str, _ShmSlice]]:
+    """Concatenate all traces into one shared segment; map name -> slice.
+
+    Returns ``(None, {})`` when the workload holds no arrivals at all
+    (zero-byte segments are invalid, and there is nothing to ship).
+    """
+    lengths = {
+        obj.name: len(workload[obj.name])
+        for obj in catalog
+        if obj.name in workload
+    }
+    total = sum(lengths.values())
+    if total == 0:
+        return None, {}
+    segment = shared_memory.SharedMemory(create=True, size=total * 8)
+    flat = np.frombuffer(segment.buf, dtype=np.float64, count=total)
+    views: Dict[str, _ShmSlice] = {}
+    offset = 0
+    for obj in catalog:
+        size = lengths.get(obj.name)
+        if size is None:
+            continue
+        stop = offset + size
+        flat[offset:stop] = np.asarray(
+            workload[obj.name].times, dtype=np.float64
+        )
+        views[obj.name] = _ShmSlice(segment.name, offset, stop)
+        offset = stop
+    del flat
+    return segment, views
+
+
 def _simulate_object(
     obj: MediaObject,
     times_minutes: np.ndarray,
@@ -232,6 +340,8 @@ def _run_shard(args) -> FleetObjectResult:
         rng = np.random.default_rng(seed_seq)
         trace = poisson(mean_gap / obj.weight, horizon, seed=rng)
         times = np.asarray(trace.times, dtype=np.float64)
+    elif isinstance(times, _ShmSlice):
+        times = _read_shm_slice(times)
     return _simulate_object(obj, times, delay, horizon, policy)
 
 
@@ -243,6 +353,7 @@ def _shard_args(
     horizon_minutes: float,
     policy: FleetPolicy,
     seed,
+    shm_views: Optional[Dict[str, _ShmSlice]] = None,
 ) -> Iterable[tuple]:
     if workload is None:
         if mean_interarrival_minutes is None:
@@ -263,12 +374,15 @@ def _shard_args(
             )
     else:
         for obj in catalog:
-            trace = workload.get(obj.name)
-            times = (
-                _EMPTY
-                if trace is None
-                else np.asarray(trace.times, dtype=np.float64)
-            )
+            if shm_views is not None and obj.name in shm_views:
+                times = shm_views[obj.name]
+            else:
+                trace = workload.get(obj.name)
+                times = (
+                    _EMPTY
+                    if trace is None
+                    else np.asarray(trace.times, dtype=np.float64)
+                )
             yield (obj, times, None, None, delay_minutes, horizon_minutes, policy)
 
 
@@ -298,20 +412,41 @@ def run_fleet(
         delay_minutes=delay_minutes,
         horizon_minutes=horizon_minutes,
     )
-    args = _shard_args(
-        catalog,
-        workload,
-        mean_interarrival_minutes,
-        delay_minutes,
-        horizon_minutes,
-        policy,
-        seed,
+    sharded = bool(workers and workers > 1)
+    segment: Optional[shared_memory.SharedMemory] = None
+    shm_views: Optional[Dict[str, _ShmSlice]] = None
+    if (
+        sharded
+        and workload is not None
+        and multiprocessing.get_start_method(allow_none=False) == "fork"
+    ):
+        # Ship the per-object traces through one shared-memory segment
+        # instead of pickling a list per shard; workers read their slice
+        # by (name, start, stop).  Fold results are byte-identical to the
+        # pickling path (tests/fleet/test_runner.py asserts workers=0 vs 2).
+        # Gated on the fork start method: the single-unlink cleanup in
+        # _read_shm_slice relies on workers sharing the parent's resource
+        # tracker; under spawn/forkserver each worker's tracker would
+        # unlink the segment at exit, so those platforms keep pickling.
+        segment, shm_views = _share_workload(catalog, workload)
+    args = list(
+        _shard_args(
+            catalog,
+            workload,
+            mean_interarrival_minutes,
+            delay_minutes,
+            horizon_minutes,
+            policy,
+            seed,
+            shm_views,
+        )
     )
-    if workers and workers > 1:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            for result in pool.map(_run_shard, args, chunksize=4):
-                report.objects.append(result)
-    else:
-        for shard in args:
-            report.objects.append(_run_shard(shard))
+    try:
+        for result in pool_map(_run_shard, args, workers=workers):
+            report.objects.append(result)
+    finally:
+        if segment is not None:
+            segment.close()
+            with contextlib.suppress(FileNotFoundError):
+                segment.unlink()
     return report

@@ -1,0 +1,31 @@
+"""The sweep tier: declarative parameter grids over the batched kernel.
+
+The paper's figures and tables — and every future scenario study — are
+grids of points evaluated through the fast tier: closed-form ``Acost`` /
+``Mcost`` / bound evaluation where a point needs no simulation at all,
+and :func:`repro.fleet.engine.simulate_batched` where it does.  This
+package supplies the grid language (:class:`SweepSpec`), the engine
+(:func:`run_sweep`: cache-check, process sharding via the fleet pool,
+columnar fold) and the content-hash artifact cache
+(:class:`SweepCache`), plus the shared point evaluators the experiment
+drivers declare their sweeps over.
+
+Adding a figure is: write/pick an evaluator, declare a ``SweepSpec``,
+format the rows (see README "The sweep tier").
+"""
+
+from .cache import DEFAULT_CACHE_DIR, SweepCache
+from .engine import SweepResult, configure_sweeps, run_sweep, sweep_defaults
+from .spec import Axis, SweepSpec, canonical_json
+
+__all__ = [
+    "Axis",
+    "SweepSpec",
+    "SweepCache",
+    "SweepResult",
+    "DEFAULT_CACHE_DIR",
+    "canonical_json",
+    "configure_sweeps",
+    "run_sweep",
+    "sweep_defaults",
+]

@@ -1,0 +1,91 @@
+"""Content-addressed artifact cache for sweep points.
+
+One JSON file per evaluated grid point, keyed by the point's content hash
+(:meth:`repro.sweeps.spec.SweepSpec.point_key`), so re-rendering a figure
+after a parameter tweak recomputes only the dirty points: untouched
+points hit the cache, edited axes/fixed params/evaluators miss by
+construction (the hash covers them all).
+
+Values are restricted to JSON scalars (str/int/float/bool/None): Python's
+``repr``-based float serialisation round-trips IEEE doubles exactly, so a
+cache hit returns bit-identical metrics to a fresh evaluation.  Writes go
+through a temp file + rename, making concurrent sweeps over one cache
+directory safe (last writer wins with an intact artifact either way).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+__all__ = ["SweepCache", "DEFAULT_CACHE_DIR"]
+
+#: conventional cache location (repo-root relative); gitignored.
+DEFAULT_CACHE_DIR = ".sweep-cache"
+
+_SCALARS = (str, int, float, bool, type(None))
+
+
+class SweepCache:
+    """Directory-backed point-result store: ``<root>/<hh>/<hash>.json``."""
+
+    def __init__(self, root: Union[str, Path] = DEFAULT_CACHE_DIR):
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, object]]:
+        """The cached metrics dict, or None on a miss (or torn artifact)."""
+        try:
+            payload = json.loads(self.path(key).read_text())
+        except (FileNotFoundError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload["metrics"]
+
+    def put(self, key: str, metrics: Dict[str, object]) -> None:
+        for name, value in metrics.items():
+            if not isinstance(value, _SCALARS):
+                raise TypeError(
+                    f"metric {name!r} = {value!r} is not a JSON scalar; "
+                    "sweep caching needs scalar metrics (mark the spec "
+                    "cacheable=False for richer payloads)"
+                )
+        target = self.path(key)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=target.parent, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump({"schema": "repro.sweep-point.v1", "metrics": metrics}, fh)
+            os.replace(tmp, target)
+        except BaseException:
+            with_suppress_unlink(tmp)
+            raise
+
+    def clear(self) -> int:
+        """Delete every artifact under the root; returns the count."""
+        removed = 0
+        if self.root.exists():
+            for p in self.root.rglob("*.json"):
+                with_suppress_unlink(str(p))
+                removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.rglob("*.json")) if self.root.exists() else 0
+
+
+def with_suppress_unlink(path: str) -> None:
+    try:
+        os.unlink(path)
+    except OSError:
+        pass

@@ -66,6 +66,12 @@ class TestMinObjectDelay:
         assert loose is not None and tight is not None
         assert tight >= loose
 
+    def test_rejects_non_positive_horizon(self, catalog):
+        with pytest.raises(ValueError, match="horizon"):
+            min_object_delay(catalog[0], 0.0, 5, GRID)
+        with pytest.raises(ValueError, match="horizon"):
+            min_object_delay(catalog[0], -1.0, 5, GRID)
+
 
 class TestFrontier:
     def test_frontier_delay_decreases_with_budget(self, catalog):
@@ -117,6 +123,60 @@ class TestAdmission:
         assert 0.0 < report.served_weight_fraction < 1.0
         assert set(report.admitted) | set(report.dropped) == set(names)
         assert "shedding" in report.render()
+
+
+class TestEnvelopeMemo:
+    """The DG envelope memo: fewer forest builds, identical answers."""
+
+    def test_frontier_probes_hit_the_envelope_cache(self, catalog):
+        from repro.fleet.capacity import dg_envelope
+
+        dg_envelope.cache_clear()
+        points = capacity_frontier(catalog, HORIZON, [5, 20, 60, 150], GRID)
+        info = dg_envelope.cache_info()
+        # every probed delay maps each object to an (L, n_slots) pair;
+        # misses are bounded by the distinct pairs, and the repeated
+        # probes across budgets/objects must all be hits.
+        distinct = {
+            (obj.units(d), max(1, int(-(-HORIZON // d))))
+            for obj in catalog
+            for d in GRID
+        }
+        assert info.misses <= len(distinct)
+        assert info.hits > info.misses, info
+        assert [p.budget_channels for p in points] == [5, 20, 60, 150]
+
+    def test_memoised_frontier_equals_unmemoised_oracle(self, catalog):
+        """Every frontier delay equals the multiplex linear scan, which
+        rebuilds its envelopes from scratch (no memo on that path)."""
+        for budget in (5, 20, 60, 150):
+            assert min_fleet_delay(catalog, HORIZON, budget, GRID) == (
+                min_delay_for_budget(catalog, HORIZON, budget, GRID)
+            )
+
+    def test_envelope_matches_object_load(self, catalog):
+        import numpy as np
+
+        from repro.fleet.capacity import dg_envelope
+        from repro.multiplex.server import dg_object_load
+
+        obj = catalog[0]
+        delay = GRID[3]
+        L = obj.units(delay)
+        n_slots = max(1, int(np.ceil(HORIZON / delay)))
+        labels, starts, ends = dg_envelope(L, n_slots)
+        oracle = dg_object_load(obj, delay, HORIZON)
+        assert np.array_equal(labels * delay, oracle.labels)
+        assert np.array_equal(starts * delay, oracle.starts)
+        assert np.array_equal(ends * delay, oracle.ends)
+
+    def test_cached_arrays_are_read_only(self):
+        from repro.fleet.capacity import dg_envelope
+
+        labels, starts, ends = dg_envelope(15, 40)
+        for arr in (labels, starts, ends):
+            with pytest.raises(ValueError):
+                arr[0] = -1.0
 
 
 class TestGrid:

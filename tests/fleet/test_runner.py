@@ -123,6 +123,67 @@ class TestRunFleet:
             assert o.max_startup_delay_minutes <= 3.0
 
 
+class TestSharedMemoryShipping:
+    """Explicit workloads ship to workers via shared memory, not pickles."""
+
+    def test_share_and_read_roundtrip(self, catalog, workload):
+        from repro.fleet.runner import _read_shm_slice, _share_workload
+
+        segment, views = _share_workload(catalog, workload)
+        assert segment is not None
+        try:
+            for obj in catalog:
+                trace = workload.get(obj.name)
+                if trace is None or len(trace) == 0:
+                    assert obj.name not in views or (
+                        views[obj.name].stop == views[obj.name].start
+                    )
+                    continue
+                got = _read_shm_slice(views[obj.name])
+                assert np.array_equal(
+                    got, np.asarray(trace.times, dtype=np.float64)
+                )
+                assert got.flags.owndata  # a copy, safe after unlink
+        finally:
+            segment.close()
+            segment.unlink()
+
+    def test_empty_workload_skips_the_segment(self, catalog):
+        from repro.fleet.runner import _share_workload
+
+        segment, views = _share_workload(catalog, {})
+        assert segment is None and views == {}
+
+    def test_sharded_explicit_workload_matches_serial_exactly(
+        self, catalog, workload
+    ):
+        """workers=0 (arrays in-process) vs workers=2 (shared memory):
+        the fold must be byte-identical — same satellite contract the
+        pickling path had."""
+        serial = run_fleet(catalog, 2.0, 180.0, workload=workload, workers=0)
+        sharded = run_fleet(catalog, 2.0, 180.0, workload=workload, workers=2)
+        for a, b in zip(serial.objects, sharded.objects):
+            assert a.name == b.name
+            assert a.clients == b.clients and a.streams == b.streams
+            assert a.total_units_minutes == b.total_units_minutes
+            assert np.array_equal(a.starts, b.starts)
+            assert np.array_equal(a.ends, b.ends)
+        assert serial.peak_channels == sharded.peak_channels
+
+
+class TestPoolMap:
+    def test_in_order_results_regardless_of_workers(self):
+        from repro.fleet.runner import pool_map
+
+        args = list(range(12))
+        assert list(pool_map(_square, args, workers=0)) == [a * a for a in args]
+        assert list(pool_map(_square, args, workers=2)) == [a * a for a in args]
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
 class TestFleetProfile:
     def test_profile_bounds_peak(self, catalog, workload):
         report = run_fleet(catalog, 2.0, 180.0, workload=workload)

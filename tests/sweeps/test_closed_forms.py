@@ -1,0 +1,50 @@
+"""Closed-form ``Acost`` (online_full_cost_closed) == the flat evaluator."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.online import (
+    online_full_cost,
+    online_full_cost_closed,
+    online_tree_size,
+)
+
+
+class TestOnlineFullCostClosed:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        L=st.integers(min_value=1, max_value=250),
+        n=st.integers(min_value=1, max_value=5000),
+    )
+    def test_equals_flat_evaluator(self, L, n):
+        assert online_full_cost_closed(L, n) == online_full_cost(L, n)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        L=st.integers(min_value=3, max_value=120),
+        n=st.integers(min_value=1, max_value=2000),
+        data=st.data(),
+    )
+    def test_equals_flat_evaluator_with_tree_size(self, L, n, data):
+        size = data.draw(st.integers(min_value=1, max_value=L), label="size")
+        assert online_full_cost_closed(
+            L, n, tree_size=size
+        ) == online_full_cost(L, n, tree_size=size)
+
+    def test_boundaries_around_template_multiples(self):
+        for L in (7, 15, 100):
+            size = online_tree_size(L)
+            for n in (size - 1, size, size + 1, 3 * size - 1, 3 * size):
+                if n >= 1:
+                    assert online_full_cost_closed(L, n) == online_full_cost(L, n)
+
+    def test_rejects_bad_arguments_like_the_builder(self):
+        with pytest.raises(ValueError):
+            online_full_cost_closed(0, 10)
+        with pytest.raises(ValueError):
+            online_full_cost_closed(10, 0)
+        with pytest.raises(ValueError):
+            online_full_cost_closed(10, 5, tree_size=11)

@@ -1,0 +1,74 @@
+"""SweepSpec: grid enumeration, validation, content hashing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sweeps import Axis, SweepSpec, canonical_json
+from repro.sweeps.evaluators import delay_savings_point, online_ratio_point
+
+
+def _spec(**over):
+    kwargs = dict(
+        name="demo",
+        evaluator=online_ratio_point,
+        axes=[Axis("L", (15, 50)), Axis("n", (10, 100, 1000))],
+        metrics=("online_cost", "offline_cost"),
+    )
+    kwargs.update(over)
+    return SweepSpec(**kwargs)
+
+
+class TestGrid:
+    def test_points_row_major_last_axis_fastest(self):
+        spec = _spec()
+        pts = spec.points()
+        assert spec.n_points == len(pts) == 6
+        assert pts[0] == {"L": 15, "n": 10}
+        assert pts[1] == {"L": 15, "n": 100}
+        assert pts[3] == {"L": 50, "n": 10}
+
+    def test_axes_mapping_form(self):
+        spec = _spec(axes={"L": (15,), "n": (10, 20)})
+        assert spec.axis_names == ("L", "n")
+        assert spec.n_points == 2
+
+    def test_rejects_empty_axis_and_clashes(self):
+        with pytest.raises(ValueError):
+            Axis("n", ())
+        with pytest.raises(ValueError):
+            _spec(axes=[])
+        with pytest.raises(ValueError):
+            _spec(axes=[Axis("n", (1,)), Axis("n", (2,))])
+        with pytest.raises(ValueError):
+            _spec(axes=[Axis("L", (1,))], fixed={"L": 3})
+
+
+class TestPointKey:
+    def test_stable_and_distinct(self):
+        spec = _spec()
+        k1 = spec.point_key({"L": 15, "n": 10})
+        assert k1 == spec.point_key({"L": 15, "n": 10})
+        assert k1 != spec.point_key({"L": 15, "n": 100})
+
+    def test_version_and_fixed_dirty_the_key(self):
+        point = {"L": 15, "n": 10}
+        assert _spec().point_key(point) != _spec(version="2").point_key(point)
+        assert (
+            _spec().point_key(point)
+            != _spec(fixed={"extra": 1}).point_key(point)
+        )
+
+    def test_evaluator_identity_dirties_the_key(self):
+        a = _spec()
+        b = _spec(evaluator=delay_savings_point)
+        assert a.point_key({"L": 15, "n": 10}) != b.point_key({"L": 15, "n": 10})
+
+    def test_float_hashing_is_bit_exact(self):
+        # 0.1 + 0.2 != 0.3 at the bit level; the hash must see that.
+        spec = _spec(axes=[Axis("x", (0.3,))])
+        assert spec.point_key({"x": 0.3}) != spec.point_key({"x": 0.1 + 0.2})
+
+    def test_unhashable_parameter_raises(self):
+        with pytest.raises(TypeError, match="content-hashable"):
+            canonical_json({"bad": object()})
