@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python
 
-.PHONY: test bench bench-general bench-sim bench-fleet bench-experiments bench-smoke
+.PHONY: test bench bench-general bench-sim bench-fleet bench-experiments bench-smoke burnin burnin-smoke
 
 ## tier-1 test suite (must stay green)
 test:
@@ -38,3 +38,14 @@ bench-experiments:
 ## asserts fast == reference)
 bench-smoke:
 	$(PY) -m pytest benchmarks/bench_fastpath.py benchmarks/bench_general.py benchmarks/bench_sim.py benchmarks/bench_fleet.py benchmarks/bench_experiments.py --benchmark-only -q
+
+## full fault-injected soak: 50 episodes across every fault family,
+## every standing contract checked after each; writes the evidence
+## report and exits non-zero on any violation
+burnin:
+	$(PY) -m repro burnin --report soak-report.json
+
+## quick soak pass (CI job next to bench-smoke): every fault family
+## fires at least twice; non-zero exit on any contract violation
+burnin-smoke:
+	$(PY) -m repro burnin --episodes 10

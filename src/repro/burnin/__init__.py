@@ -1,0 +1,55 @@
+"""The burn-in tier: standing-invariant contracts + fault-injected soak.
+
+The perf tiers (fastpath, fleet, sweeps) are pinned by golden fixtures
+and equivalence tests over *clean* runs; this package asserts the system
+holds its inviolables when the runtime misbehaves.  Three layers:
+
+* :mod:`~repro.burnin.contracts` — the invariants (capacity, delay
+  guarantee, replay-clean folds, paper cost bounds, cache accounting) as
+  re-checkable :class:`ContractReport` batteries over any
+  ``FleetReport`` / ``SweepResult`` / ``AdmissionReport``;
+* :mod:`~repro.burnin.faults` — deterministic injectors (worker kills,
+  torn cache artifacts, malformed traces, flash overload) wired into the
+  production hooks
+  (:func:`repro.fleet.runner.install_task_fault_hook`,
+  :attr:`repro.sweeps.cache.SweepCache.read_hook`);
+* :mod:`~repro.burnin.soak` — the episode driver behind
+  ``python -m repro burnin``, which cycles scenarios x policies x fault
+  families, re-checks every contract after every episode, and writes a
+  byte-reproducible JSON evidence report.
+"""
+
+from .contracts import (
+    ContractOutcome,
+    ContractReport,
+    check_admission_report,
+    check_fleet_report,
+    check_sweep_result,
+    fleet_reports_equal,
+)
+from .faults import (
+    TornArtifact,
+    WorkerKill,
+    corrupt_times,
+    flash_overload,
+    installed_task_fault,
+)
+from .soak import FAULT_FAMILIES, SoakConfig, SoakReport, run_soak
+
+__all__ = [
+    "ContractOutcome",
+    "ContractReport",
+    "FAULT_FAMILIES",
+    "SoakConfig",
+    "SoakReport",
+    "TornArtifact",
+    "WorkerKill",
+    "check_admission_report",
+    "check_fleet_report",
+    "check_sweep_result",
+    "corrupt_times",
+    "flash_overload",
+    "fleet_reports_equal",
+    "installed_task_fault",
+    "run_soak",
+]

@@ -1,0 +1,430 @@
+"""Standing-invariant contracts over fleet, sweep and admission results.
+
+The perf stack (fastpath -> simulation -> fleet -> sweeps) is pinned by
+golden fixtures and equivalence property tests, but those only exercise
+clean replays.  This module states the system's *inviolables* as
+re-checkable contracts over the artifacts any run hands back —
+:class:`~repro.fleet.runner.FleetReport`,
+:class:`~repro.sweeps.engine.SweepResult`,
+:class:`~repro.fleet.capacity.AdmissionReport` — so the soak driver
+(:mod:`repro.burnin.soak`) and the CLIs can re-assert them after every
+episode, faulted or not:
+
+* **capacity** — the realised fleet-wide peak never exceeds a channel
+  budget; an admission report's admitted set always fits its budget.
+* **delay guarantee** — no served client waits longer than the
+  guaranteed start-up delay.
+* **replay clean** — re-simulating every object from the workload
+  in-process reproduces the folded report *exactly* (bit-identical
+  interval arrays, so pool sharding / crash recovery / trace repair
+  cannot corrupt a fold) and the realised merge forests pass the batched
+  :mod:`repro.fastpath.replay` verification.
+* **cost bounds** — per object, total bandwidth sits inside the paper's
+  structural envelope: every stream no longer than a full ``L``-unit
+  root, every root exactly ``L`` units, hence
+  ``roots * L * delay <= total <= streams * L * delay``.
+* **conservation** — summary counters equal what the interval arrays
+  actually say (no drift between folded summaries and data).
+
+Each contract appends named :class:`ContractOutcome` rows into a
+:class:`ContractReport`; ``report.ok`` is the episode verdict and
+``report.to_json()`` the deterministic evidence payload.  To add an
+invariant, write a function taking ``(artifact, ..., report)`` that
+calls ``report.record(name, ok, checks, detail)`` and chain it in the
+relevant ``check_*`` entry point (see README "The burn-in tier").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..fleet.capacity import AdmissionReport, dg_fleet_peak
+from ..fleet.engine import FleetPolicy
+from ..fleet.runner import FleetReport, _times_of, object_run
+from ..multiplex.catalog import Catalog
+from ..sweeps.engine import SweepResult
+
+__all__ = [
+    "ContractOutcome",
+    "ContractReport",
+    "check_admission_report",
+    "check_fleet_report",
+    "check_sweep_result",
+    "fleet_reports_equal",
+]
+
+#: relative tolerance for float bandwidth/weight comparisons; delays are
+#: compared with an absolute epsilon on the minutes clock.
+_REL = 1e-9
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class ContractOutcome:
+    """One named invariant's verdict: ok/violated, with evidence."""
+
+    name: str
+    ok: bool
+    checks: int
+    detail: str = ""
+
+    def to_json(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "name": self.name, "ok": self.ok, "checks": self.checks,
+        }
+        if self.detail:
+            out["detail"] = self.detail
+        return out
+
+
+@dataclass
+class ContractReport:
+    """An ordered collection of contract outcomes (one soak episode's
+    worth, or one CLI run's)."""
+
+    outcomes: List[ContractOutcome] = field(default_factory=list)
+
+    def record(
+        self, name: str, ok: bool, checks: int = 1, detail: str = ""
+    ) -> None:
+        self.outcomes.append(
+            ContractOutcome(name, bool(ok), int(checks), detail if not ok else "")
+        )
+
+    @property
+    def ok(self) -> bool:
+        return all(o.ok for o in self.outcomes)
+
+    @property
+    def checks(self) -> int:
+        return sum(o.checks for o in self.outcomes)
+
+    def failures(self) -> List[ContractOutcome]:
+        return [o for o in self.outcomes if not o.ok]
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "ok": self.ok,
+            "checks": self.checks,
+            "outcomes": [o.to_json() for o in self.outcomes],
+        }
+
+    def render(self) -> str:
+        status = "OK" if self.ok else "VIOLATED"
+        lines = [
+            f"contracts: {status} "
+            f"({len(self.outcomes)} contracts, {self.checks} checks)"
+        ]
+        for o in self.failures():
+            lines.append(f"  FAIL {o.name}: {o.detail}")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Fleet-report contracts
+# ---------------------------------------------------------------------------
+
+
+def fleet_reports_equal(a: FleetReport, b: FleetReport) -> Optional[str]:
+    """None when two fleet reports realised the identical system; else a
+    one-line description of the first difference.
+
+    Compares the run geometry and every per-object *result* —
+    bit-identical interval arrays included.  The ``repaired`` counters
+    are deliberately excluded: a repaired malformed feed must equal the
+    fault-free run, which by definition repaired nothing.
+    """
+    if (a.policy, a.delay_minutes, a.horizon_minutes) != (
+        b.policy, b.delay_minutes, b.horizon_minutes
+    ):
+        return "run geometry differs"
+    if [o.name for o in a.objects] != [o.name for o in b.objects]:
+        return "object sets differ"
+    for x, y in zip(a.objects, b.objects):
+        for attr in (
+            "L", "clients", "streams", "roots",
+            "total_units_minutes", "max_startup_delay_minutes",
+        ):
+            if getattr(x, attr) != getattr(y, attr):
+                return (
+                    f"object {x.name}: {attr} "
+                    f"{getattr(x, attr)!r} != {getattr(y, attr)!r}"
+                )
+        if not (
+            np.array_equal(x.starts, y.starts)
+            and np.array_equal(x.ends, y.ends)
+        ):
+            return f"object {x.name}: interval arrays differ"
+    return None
+
+
+def _check_delay_guarantee(report: FleetReport, out: ContractReport) -> None:
+    bad = [
+        o.name for o in report.objects
+        if o.max_startup_delay_minutes > report.delay_minutes + _EPS
+    ]
+    out.record(
+        "fleet.delay-guarantee",
+        not bad,
+        len(report.objects),
+        f"guaranteed delay {report.delay_minutes:g} min exceeded for: "
+        + ", ".join(bad[:5]),
+    )
+
+
+def _check_capacity(
+    report: FleetReport, budget: Optional[int], out: ContractReport
+) -> None:
+    if budget is None:
+        return
+    peak = report.peak_channels
+    out.record(
+        "fleet.capacity",
+        peak <= budget,
+        1,
+        f"realised peak {peak} exceeds the {budget}-channel budget",
+    )
+
+
+def _check_conservation(report: FleetReport, out: ContractReport) -> None:
+    checks = 0
+    bad: List[str] = []
+    for o in report.objects:
+        checks += 4
+        if o.starts.shape != o.ends.shape or o.streams != o.starts.size:
+            bad.append(f"{o.name}: stream count != interval arrays")
+            continue
+        if o.starts.size and not (
+            np.all(np.isfinite(o.starts)) and np.all(np.isfinite(o.ends))
+        ):
+            bad.append(f"{o.name}: non-finite interval endpoints")
+            continue
+        if o.starts.size and np.any(o.ends < o.starts):
+            bad.append(f"{o.name}: stream ends before it starts")
+            continue
+        units = float(np.sum(o.ends - o.starts))
+        if abs(units - o.total_units_minutes) > _REL * max(1.0, abs(units)):
+            bad.append(
+                f"{o.name}: summary units {o.total_units_minutes} != "
+                f"interval sum {units}"
+            )
+    out.record(
+        "fleet.conservation", not bad, checks, "; ".join(bad[:3])
+    )
+
+
+def _check_cost_bounds(report: FleetReport, out: ContractReport) -> None:
+    checks = 0
+    bad: List[str] = []
+    for o in report.objects:
+        if o.streams == 0:
+            continue
+        checks += 3
+        full = o.L * o.delay_minutes  # a root stream's length in minutes
+        tol = _REL * max(1.0, full * o.streams)
+        if not 1 <= o.roots <= o.streams:
+            bad.append(f"{o.name}: {o.roots} roots of {o.streams} streams")
+            continue
+        longest = float(np.max(o.ends - o.starts))
+        if longest > full + _EPS:
+            bad.append(
+                f"{o.name}: stream of {longest:g} min exceeds the "
+                f"L*delay = {full:g} min full stream"
+            )
+            continue
+        lo, hi = o.roots * full, o.streams * full
+        if not lo - tol <= o.total_units_minutes <= hi + tol:
+            bad.append(
+                f"{o.name}: bandwidth {o.total_units_minutes:g} outside "
+                f"[roots*L*delay, streams*L*delay] = [{lo:g}, {hi:g}]"
+            )
+    out.record("fleet.cost-bounds", not bad, checks, "; ".join(bad[:3]))
+
+
+def _check_replay(
+    report: FleetReport,
+    catalog: Catalog,
+    workload: Dict[str, object],
+    policy: FleetPolicy,
+    out: ContractReport,
+) -> None:
+    """Re-simulate every object in-process and demand (a) bit-identical
+    results to the folded report and (b) a clean batched replay
+    verification of the realised merge forest."""
+    by_name = {o.name: o for o in report.objects}
+    checks = 0
+    bad: List[str] = []
+    for obj in catalog:
+        reported = by_name.get(obj.name)
+        if reported is None:
+            bad.append(f"{obj.name}: missing from the report")
+            continue
+        trace = workload.get(obj.name)
+        times = (
+            np.empty(0, dtype=np.float64) if trace is None else _times_of(trace)
+        )
+        result, _ = object_run(
+            obj, times, report.delay_minutes, report.horizon_minutes, policy
+        )
+        checks += 1
+        if result is None or result.forest is None:
+            if reported.streams != 0:
+                bad.append(
+                    f"{obj.name}: report has {reported.streams} streams, "
+                    "replay has none"
+                )
+            continue
+        starts = result.forest.arrivals * report.delay_minutes
+        ends = starts + result.lengths * report.delay_minutes
+        if not (
+            np.array_equal(starts, reported.starts)
+            and np.array_equal(ends, reported.ends)
+        ):
+            bad.append(f"{obj.name}: folded intervals != in-process replay")
+            continue
+        verification = result.verify(continuous=not policy.uses_slots)
+        checks += verification.checks
+        if not verification.ok:
+            bad.append(
+                f"{obj.name}: replay verification failed "
+                f"({len(verification.failures)} checks): "
+                + "; ".join(verification.failures[:2])
+            )
+    out.record("fleet.replay", not bad, checks, "; ".join(bad[:3]))
+
+
+def check_fleet_report(
+    report: FleetReport,
+    catalog: Optional[Catalog] = None,
+    workload: Optional[Dict[str, object]] = None,
+    policy: Optional[FleetPolicy] = None,
+    budget_channels: Optional[int] = None,
+    replay: bool = True,
+) -> ContractReport:
+    """Assert every standing fleet invariant on a folded report.
+
+    ``catalog`` + ``workload`` + ``policy`` unlock the replay contract
+    (in-process re-simulation + forest verification); without them the
+    summary-level contracts still run.  ``budget_channels`` arms the
+    capacity contract.
+    """
+    out = ContractReport()
+    _check_delay_guarantee(report, out)
+    _check_capacity(report, budget_channels, out)
+    _check_conservation(report, out)
+    _check_cost_bounds(report, out)
+    if replay and catalog is not None and workload is not None:
+        _check_replay(
+            report, catalog, workload,
+            policy or FleetPolicy(report.policy), out,
+        )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Sweep-result contracts
+# ---------------------------------------------------------------------------
+
+
+def check_sweep_result(
+    result: SweepResult, require_finite: bool = True
+) -> ContractReport:
+    """Assert the structural invariants of a columnar sweep result:
+    complete columns of the declared shape, (optionally) finite metric
+    values, and cache accounting that adds up."""
+    out = ContractReport()
+    spec = result.spec
+    expected = set(spec.axis_names) | set(spec.metrics)
+    shape_ok = set(result.columns) == expected and all(
+        col.shape == (spec.n_points,) for col in result.columns.values()
+    )
+    out.record(
+        "sweep.columns",
+        shape_ok,
+        len(expected),
+        f"columns {sorted(result.columns)} != axes+metrics {sorted(expected)} "
+        f"of length {spec.n_points}",
+    )
+    if require_finite:
+        bad = [
+            name
+            for name in spec.metrics
+            if result.columns[name].dtype.kind == "f"
+            and not np.all(np.isfinite(result.columns[name]))
+        ]
+        out.record(
+            "sweep.finite",
+            not bad,
+            len(spec.metrics),
+            "non-finite metric columns: " + ", ".join(bad),
+        )
+    accounted = result.evaluated + result.cache_hits
+    out.record(
+        "sweep.accounting",
+        accounted == spec.n_points and result.cache_misses <= spec.n_points,
+        2,
+        f"evaluated {result.evaluated} + hits {result.cache_hits} != "
+        f"{spec.n_points} points",
+    )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Admission-report contracts
+# ---------------------------------------------------------------------------
+
+
+def check_admission_report(
+    report: AdmissionReport, catalog: Catalog, horizon_minutes: float
+) -> ContractReport:
+    """Assert a shedding verdict is *consistent*: the admitted/dropped
+    sets partition the catalog, the served-weight bookkeeping matches,
+    and — the hard invariant — the admitted set's DG envelope fits the
+    budget, so no admitted client's guarantee can ever be violated."""
+    out = ContractReport()
+    names = {o.name for o in catalog}
+    admitted, dropped = set(report.admitted), set(report.dropped)
+    out.record(
+        "admission.partition",
+        admitted | dropped == names and not (admitted & dropped),
+        2,
+        f"admitted+dropped do not partition the catalog "
+        f"({len(admitted)}+{len(dropped)} of {len(names)})",
+    )
+    weight = sum(o.weight for o in catalog if o.name in admitted)
+    out.record(
+        "admission.weight",
+        abs(weight - report.served_weight_fraction) <= _REL,
+        1,
+        f"served weight {report.served_weight_fraction} != admitted "
+        f"weight {weight}",
+    )
+    survivors = [o for o in catalog if o.name in admitted]
+    peak = (
+        dg_fleet_peak(Catalog(survivors), report.delay_minutes, horizon_minutes)
+        if survivors
+        else 0
+    )
+    out.record(
+        "admission.peak-recomputed",
+        peak == report.peak_channels,
+        1,
+        f"reported peak {report.peak_channels} != recomputed {peak}",
+    )
+    out.record(
+        "admission.capacity",
+        peak <= report.budget_channels,
+        1,
+        f"admitted set needs {peak} channels, budget is "
+        f"{report.budget_channels} — an admitted guarantee would be violated",
+    )
+    out.record(
+        "admission.feasible-honesty",
+        (not report.feasible) or not dropped,
+        1,
+        "feasible verdict with a non-empty dropped set",
+    )
+    return out

@@ -7,6 +7,7 @@ Usage::
     python -m repro fig12 --save results/ --workers 4 --cache
     python -m repro all --save results/
     python -m repro fleet --objects 120 --scenario flash
+    python -m repro burnin --episodes 50 --report soak.json
 
 Grid experiments run through the sweep tier (:mod:`repro.sweeps`):
 ``--workers`` shards point evaluation across processes and ``--cache``
@@ -14,8 +15,13 @@ enables the content-hash artifact cache, so re-rendering a figure after
 a parameter tweak recomputes only the dirty points.
 
 ``fleet`` is not a paper experiment but the catalog-scale serving +
-capacity-planning front end (see :mod:`repro.fleet.cli`); it takes its
-own options and is dispatched before the experiment parser runs.
+capacity-planning front end (see :mod:`repro.fleet.cli`); ``burnin`` is
+the fault-injected soak harness (see :mod:`repro.burnin.cli`).  Both
+take their own options and are dispatched before the experiment parser
+runs.  Exit codes are contracts: ``fleet`` exits 4 when a standing
+fleet/admission invariant fails, ``burnin`` exits 3 on any soak
+violation, experiments exit 4 when a reported table contains non-finite
+values.
 
 Each experiment prints the same rows/series the paper reports (see
 DESIGN.md for the experiment index and EXPERIMENTS.md for recorded
@@ -26,6 +32,7 @@ text and raw JSON per experiment.
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 import time
 from typing import List, Optional
@@ -51,7 +58,19 @@ def _print_listing() -> None:
     )
 
 
-def _run_one(exp_id: str, save_dir: Optional[str]) -> None:
+def _finite_ok(results) -> bool:
+    """The CLI-boundary contract on experiment output: every numeric cell
+    of every reported table is finite (the sweep tier's ``sweep.finite``
+    invariant re-asserted on what actually gets printed/saved)."""
+    for res in results:
+        for row in res.rows:
+            for cell in row:
+                if isinstance(cell, float) and not math.isfinite(cell):
+                    return False
+    return True
+
+
+def _run_one(exp_id: str, save_dir: Optional[str]) -> bool:
     exp = get_experiment(exp_id)
     t0 = time.perf_counter()
     results = exp()
@@ -63,6 +82,13 @@ def _run_one(exp_id: str, save_dir: Optional[str]) -> None:
         paths = save_results(exp, results, save_dir)
         print("saved: " + ", ".join(str(p) for p in paths))
     print(f"[{exp_id} completed in {elapsed:.2f}s]")
+    ok = _finite_ok(results)
+    if not ok:
+        print(
+            f"CONTRACT VIOLATION: {exp_id} reported non-finite values",
+            file=sys.stderr,
+        )
+    return ok
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -73,6 +99,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .fleet.cli import fleet_main
 
         return fleet_main(argv[1:])
+    if argv and argv[0] == "burnin":
+        from .burnin.cli import burnin_main
+
+        return burnin_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate tables/figures from Bar-Noy, Goshi & Ladner "
@@ -121,16 +151,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         _print_listing()
         return 0
     if args.experiment == "all":
+        ok = True
         for exp_id in sorted(all_experiments()):
             print(f"\n{'#' * 70}\n# {exp_id}\n{'#' * 70}\n")
-            _run_one(exp_id, args.save)
-        return 0
+            ok = _run_one(exp_id, args.save) and ok
+        return 0 if ok else 4
     try:
-        _run_one(args.experiment, args.save)
+        ok = _run_one(args.experiment, args.save)
     except KeyError as exc:
         print(str(exc), file=sys.stderr)
         return 2
-    return 0
+    return 0 if ok else 4
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -28,7 +28,17 @@ from .engine import (
     simulate_batched,
     simulate_event,
 )
-from .runner import FleetObjectResult, FleetReport, fleet_profile, run_fleet
+from .runner import (
+    FleetObjectResult,
+    FleetReport,
+    fleet_profile,
+    install_task_fault_hook,
+    object_run,
+    pool_map,
+    run_fleet,
+    sanitize_times,
+    shared_workload,
+)
 from .scenarios import (
     SCENARIOS,
     Transformer,
@@ -63,13 +73,18 @@ __all__ = [
     "flash_crowd",
     "fleet_profile",
     "inject",
+    "install_task_fault_hook",
     "make_event_policy",
     "min_fleet_delay",
     "min_object_delay",
+    "object_run",
+    "pool_map",
     "premiere_drop",
     "render_frontier",
     "run_fleet",
+    "sanitize_times",
     "scenario_workload",
+    "shared_workload",
     "simulate_batched",
     "simulate_event",
     "thinned",

@@ -263,7 +263,12 @@ def admission_report(
     If some candidate delay fits the whole catalog, report it (feasible,
     nothing dropped).  Otherwise pin the delay at the grid maximum and
     drop least-popular objects until the remaining envelope fits — the
-    DG guarantee then still holds for every *admitted* request.
+    DG guarantee then still holds for every *admitted* request.  The
+    capacity invariant ``peak <= budget`` holds for the admitted set
+    unconditionally: if even the most popular object alone exceeds the
+    budget at the maximum delay, *everything* is shed — an empty admitted
+    set and an honest report beat a violated guarantee (the burn-in
+    contract layer asserts this under flash-crowd overload).
     """
     grid = sorted(delays if delays is not None else default_delay_grid())
     d = min_fleet_delay(catalog, horizon_minutes, budget_channels, grid)
@@ -284,7 +289,7 @@ def admission_report(
     dropped: List[str] = []
     peak = aggregate_peak([loads[o.name] for o in admitted])
     for obj in by_popularity:
-        if peak <= budget_channels or len(admitted) == 1:
+        if peak <= budget_channels:
             break
         admitted = [o for o in admitted if o.name != obj.name]
         dropped.append(obj.name)

@@ -62,6 +62,10 @@ def _build_parser() -> argparse.ArgumentParser:
                         "capacity frontier (default: derived from the run)")
     parser.add_argument("--no-frontier", action="store_true",
                         help="skip the capacity-planning section")
+    parser.add_argument("--check", action="store_true",
+                        help="also replay-verify every object's merge "
+                        "forest (in-process re-simulation; roughly doubles "
+                        "the runtime)")
     return parser
 
 
@@ -90,8 +94,22 @@ def fleet_main(argv: Optional[List[str]] = None) -> int:
     print(report.render())
     print(f"[simulated {report.clients} requests in {elapsed:.2f}s]")
 
+    # Standing invariants (repro.burnin.contracts) as the exit code: the
+    # summary battery always runs; --check adds the replay contract.
+    from ..burnin.contracts import check_admission_report, check_fleet_report
+
+    contracts = check_fleet_report(
+        report,
+        catalog,
+        workload,
+        FleetPolicy(args.policy),
+        replay=args.check,
+    )
+    print(contracts.render())
+    exit_code = 0 if contracts.ok else 4
+
     if args.no_frontier:
-        return 0
+        return exit_code
     print()
     if args.budgets:
         budgets = [int(b) for b in args.budgets.split(",") if b.strip()]
@@ -109,8 +127,13 @@ def fleet_main(argv: Optional[List[str]] = None) -> int:
     points = capacity_frontier(catalog, args.horizon, budgets, grid)
     print(render_frontier(points))
     print()
-    print(admission_report(catalog, args.horizon, min(budgets), grid).render())
-    return 0
+    verdict = admission_report(catalog, args.horizon, min(budgets), grid)
+    print(verdict.render())
+    admission = check_admission_report(verdict, catalog, args.horizon)
+    if not admission.ok:
+        print(admission.render())
+        exit_code = 4
+    return exit_code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -28,6 +28,7 @@ from __future__ import annotations
 import contextlib
 import multiprocessing
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from multiprocessing import shared_memory
 from typing import (
@@ -40,6 +41,7 @@ from typing import (
     Optional,
     Sequence,
     Tuple,
+    Union,
 )
 
 import numpy as np
@@ -48,17 +50,44 @@ from ..arrivals.generators import poisson
 from ..arrivals.traces import ArrivalTrace
 from ..multiplex.catalog import Catalog, MediaObject
 from ..simulation.channels import interval_profile, peak_concurrency
-from .engine import FleetPolicy, simulate_batched
+from .engine import BatchedResult, FleetPolicy, simulate_batched
 
 __all__ = [
     "FleetObjectResult",
     "FleetReport",
+    "install_task_fault_hook",
+    "object_run",
     "pool_map",
     "run_fleet",
+    "sanitize_times",
+    "shared_workload",
     "fleet_profile",
 ]
 
 _EMPTY = np.empty(0, dtype=np.float64)
+
+#: burn-in fault injection point (see :mod:`repro.burnin.faults`): when
+#: installed, the hook is shipped with every ``pool_map`` task and invoked
+#: as ``hook(index, arg)`` in the executing process (worker or parent)
+#: before the task body runs.  None in production.
+_TASK_FAULT_HOOK: Optional[Callable] = None
+
+
+def install_task_fault_hook(hook: Optional[Callable]) -> Optional[Callable]:
+    """Install (``None``: clear) the pool-task fault hook; returns the
+    previous hook so callers can restore it.  The hook must be picklable
+    (it travels to worker processes with each task)."""
+    global _TASK_FAULT_HOOK
+    previous = _TASK_FAULT_HOOK
+    _TASK_FAULT_HOOK = hook
+    return previous
+
+
+def _invoke_hooked(payload) -> object:
+    """Pooled task wrapper when a fault hook is installed (picklable)."""
+    fn, hook, index, arg = payload
+    hook(index, arg)
+    return fn(arg)
 
 
 def pool_map(
@@ -75,13 +104,53 @@ def pool_map(
     yielded **in argument order** regardless of completion order, so any
     fold over them is independent of the worker count.  ``fn`` and every
     argument must be picklable (module-level functions only).
+
+    Worker-crash resilience: a task whose worker process dies mid-flight
+    (hard ``os._exit``, OOM kill, segfault in native code) surfaces as
+    :class:`BrokenProcessPool`.  Instead of propagating and losing the
+    fold, the task at the fold frontier is retried **in-process** and the
+    pool is rebuilt for the remainder; every crash advances the frontier
+    by at least one task, so a pathological workload degrades to the
+    deterministic serial path rather than failing.  Tasks must therefore
+    be pure/idempotent — which the in-order fold contract already
+    demands.  Ordinary exceptions raised *by* a task are not retried;
+    they propagate to the caller as before.
     """
-    if workers and workers > 1:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            yield from pool.map(fn, args, chunksize=chunksize)
-    else:
-        for a in args:
+    args = list(args)
+    hook = _TASK_FAULT_HOOK
+    if not (workers and workers > 1):
+        for index, a in enumerate(args):
+            if hook is not None:
+                hook(index, a)
             yield fn(a)
+        return
+    done = 0
+    while done < len(args):
+        if hook is None:
+            payloads: Sequence = args[done:]
+            task_fn = fn
+        else:
+            payloads = [
+                (fn, hook, i, a)
+                for i, a in enumerate(args[done:], start=done)
+            ]
+            task_fn = _invoke_hooked
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                for result in pool.map(task_fn, payloads, chunksize=chunksize):
+                    yield result
+                    done += 1
+            return
+        except BrokenProcessPool:
+            # The task at the frontier (or a chunk-mate that shared its
+            # worker) took the process down.  Re-run it in-process —
+            # results already yielded are untouched; chunk-mates re-run
+            # in the fresh pool below.
+            arg = args[done]
+            if hook is not None:
+                hook(done, arg)
+            yield fn(arg)
+            done += 1
 
 
 @dataclass(frozen=True)
@@ -102,6 +171,9 @@ class FleetObjectResult:
     max_startup_delay_minutes: float
     starts: np.ndarray
     ends: np.ndarray
+    #: malformed workload entries repaired away by :func:`sanitize_times`
+    #: (non-finite, out-of-window, duplicate); 0 on a clean trace.
+    repaired: int = 0
 
     @property
     def peak(self) -> int:
@@ -141,6 +213,11 @@ class FleetReport:
     @property
     def streams(self) -> int:
         return sum(o.streams for o in self.objects)
+
+    @property
+    def repaired(self) -> int:
+        """Total malformed workload entries repaired across the catalog."""
+        return sum(o.repaired for o in self.objects)
 
     def max_startup_delay_minutes(self) -> float:
         return max(
@@ -241,20 +318,54 @@ def _read_shm_slice(view: _ShmSlice) -> np.ndarray:
     return times
 
 
+WorkloadValue = Union[ArrivalTrace, np.ndarray, Sequence[float]]
+
+
+def _times_of(trace: WorkloadValue) -> np.ndarray:
+    """Times array of a workload value — :class:`ArrivalTrace` or a raw
+    array-like (the operational ingest path; repaired by
+    :func:`sanitize_times` before simulation)."""
+    times = getattr(trace, "times", trace)
+    return np.asarray(times, dtype=np.float64)
+
+
+def sanitize_times(
+    times: np.ndarray, horizon: float
+) -> Tuple[np.ndarray, int]:
+    """``(clean, repaired)`` — arrival times coerced onto the trace contract.
+
+    The fleet ingests workloads from outside the library (deserialised
+    traces, operator feeds); a malformed feed must degrade to the valid
+    arrival multiset it contains, not crash the fold.  Non-finite and
+    out-of-window entries are dropped, ordering is restored, and exact
+    duplicates collapse — so a corruption that only *adds* garbage to or
+    reorders a valid trace recovers the fault-free run exactly
+    (``tests/burnin/test_faults.py`` asserts that equivalence).
+    ``repaired`` counts the entries that had to go; 0 on any trace that
+    already satisfies the contract.
+    """
+    ts = np.asarray(times, dtype=np.float64)
+    ok = np.isfinite(ts)
+    # & instead of chained comparisons: NaN must not reach the range test
+    ok &= (ts >= 0.0) & (ts < horizon)
+    clean = np.unique(ts[ok])  # sorts and collapses exact duplicates
+    return clean, int(ts.size - clean.size)
+
+
 def _share_workload(
-    catalog: Catalog, workload: Dict[str, ArrivalTrace]
+    catalog: Catalog, workload: Dict[str, WorkloadValue]
 ) -> Tuple[Optional[shared_memory.SharedMemory], Dict[str, _ShmSlice]]:
     """Concatenate all traces into one shared segment; map name -> slice.
 
     Returns ``(None, {})`` when the workload holds no arrivals at all
     (zero-byte segments are invalid, and there is nothing to ship).
     """
-    lengths = {
-        obj.name: len(workload[obj.name])
+    arrays = {
+        obj.name: _times_of(workload[obj.name])
         for obj in catalog
         if obj.name in workload
     }
-    total = sum(lengths.values())
+    total = sum(a.size for a in arrays.values())
     if total == 0:
         return None, {}
     segment = shared_memory.SharedMemory(create=True, size=total * 8)
@@ -262,17 +373,67 @@ def _share_workload(
     views: Dict[str, _ShmSlice] = {}
     offset = 0
     for obj in catalog:
-        size = lengths.get(obj.name)
-        if size is None:
+        times = arrays.get(obj.name)
+        if times is None:
             continue
-        stop = offset + size
-        flat[offset:stop] = np.asarray(
-            workload[obj.name].times, dtype=np.float64
-        )
+        stop = offset + times.size
+        flat[offset:stop] = times
         views[obj.name] = _ShmSlice(segment.name, offset, stop)
         offset = stop
     del flat
     return segment, views
+
+
+@contextlib.contextmanager
+def shared_workload(
+    catalog: Catalog, workload: Dict[str, WorkloadValue]
+) -> Iterator[Dict[str, _ShmSlice]]:
+    """Context-managed shared-memory shipping of an explicit workload.
+
+    Guarantees the segment is closed *and unlinked* on every exit path —
+    a worker crash mid-fold, an exception raised by the fold, generator
+    abandonment — so a killed run can never leak ``/dev/shm`` segments
+    (``tests/fleet/test_runner_faults.py`` kills a worker mid-fold and
+    asserts the segment name is gone).
+    """
+    segment, views = _share_workload(catalog, workload)
+    try:
+        yield views
+    finally:
+        if segment is not None:
+            segment.close()
+            with contextlib.suppress(FileNotFoundError):
+                segment.unlink()
+
+
+def object_run(
+    obj: MediaObject,
+    times_minutes: np.ndarray,
+    delay_minutes: float,
+    horizon_minutes: float,
+    policy: FleetPolicy,
+) -> Tuple[Optional[BatchedResult], int]:
+    """One object's batched run, in slot units of its delay guarantee.
+
+    Returns ``(result, repaired)``; ``result`` is None only for the
+    zero-arrival ``general-offline`` case (the optimum is undefined over
+    zero served slots — the engine and the event policy both raise; a
+    quiet object simply contributes nothing to the fleet).  Public so the
+    burn-in contract layer can replay-verify the realised forests behind
+    a folded :class:`FleetReport`.
+    """
+    L = obj.units(delay_minutes)
+    clean, repaired = sanitize_times(times_minutes, horizon_minutes)
+    ts = clean / delay_minutes
+    if ts.size == 0 and policy.kind == "general-offline":
+        return None, repaired
+    horizon_slots = horizon_minutes / delay_minutes
+    if ts.size and ts[-1] >= horizon_slots:
+        # Float division can push the last arrival onto the horizon; the
+        # trace contract is arrivals strictly inside [0, horizon).
+        horizon_slots = float(np.nextafter(ts[-1], np.inf))
+    trace = ArrivalTrace(times=tuple(ts.tolist()), horizon=horizon_slots)
+    return simulate_batched(L, trace, policy, slot=1.0), repaired
 
 
 def _simulate_object(
@@ -282,33 +443,12 @@ def _simulate_object(
     horizon_minutes: float,
     policy: FleetPolicy,
 ) -> FleetObjectResult:
-    """One object's batched run, in slot units of its delay guarantee."""
+    """One object's run, reduced to the fleet-aggregation summary."""
+    result, repaired = object_run(
+        obj, times_minutes, delay_minutes, horizon_minutes, policy
+    )
     L = obj.units(delay_minutes)
-    ts = np.asarray(times_minutes, dtype=np.float64) / delay_minutes
-    if ts.size == 0 and policy.kind == "general-offline":
-        # The general-arrivals optimum is undefined over zero served
-        # slots (the engine and the event policy both raise); a quiet
-        # object simply contributes nothing to the fleet.
-        return FleetObjectResult(
-            name=obj.name,
-            L=L,
-            delay_minutes=delay_minutes,
-            clients=0,
-            streams=0,
-            roots=0,
-            total_units_minutes=0.0,
-            max_startup_delay_minutes=0.0,
-            starts=_EMPTY,
-            ends=_EMPTY,
-        )
-    horizon_slots = horizon_minutes / delay_minutes
-    if ts.size and ts[-1] >= horizon_slots:
-        # Float division can push the last arrival onto the horizon; the
-        # trace contract is arrivals strictly inside [0, horizon).
-        horizon_slots = float(np.nextafter(ts[-1], np.inf))
-    trace = ArrivalTrace(times=tuple(ts.tolist()), horizon=horizon_slots)
-    result = simulate_batched(L, trace, policy, slot=1.0)
-    if result.forest is None:
+    if result is None or result.forest is None:
         starts = ends = _EMPTY
         roots = 0
     else:
@@ -319,13 +459,17 @@ def _simulate_object(
         name=obj.name,
         L=L,
         delay_minutes=delay_minutes,
-        clients=int(ts.size),
+        clients=0 if result is None else int(result.client_arrival.size),
         streams=int(starts.size),
         roots=roots,
         total_units_minutes=float(np.sum(ends - starts)),
-        max_startup_delay_minutes=result.max_startup_delay() * delay_minutes,
+        max_startup_delay_minutes=(
+            0.0 if result is None
+            else result.max_startup_delay() * delay_minutes
+        ),
         starts=starts,
         ends=ends,
+        repaired=repaired,
     )
 
 
@@ -378,11 +522,7 @@ def _shard_args(
                 times = shm_views[obj.name]
             else:
                 trace = workload.get(obj.name)
-                times = (
-                    _EMPTY
-                    if trace is None
-                    else np.asarray(trace.times, dtype=np.float64)
-                )
+                times = _EMPTY if trace is None else _times_of(trace)
             yield (obj, times, None, None, delay_minutes, horizon_minutes, policy)
 
 
@@ -403,6 +543,15 @@ def run_fleet(
     into the report in catalog order as they complete, so output is
     independent of worker count — ``tests/fleet/test_runner.py`` asserts
     byte-identical reports for ``workers=0`` and ``workers=2``.
+
+    Workload values may be :class:`ArrivalTrace` objects or raw arrival
+    arrays; either way the times pass through :func:`sanitize_times`
+    before simulation, so a malformed external feed (NaN, unsorted,
+    duplicated, out-of-window entries) degrades to its valid arrival
+    multiset — counted per object in ``FleetObjectResult.repaired`` —
+    instead of crashing the fold.  A worker process dying mid-fold is
+    retried in-process (see :func:`pool_map`); the shared-memory segment
+    is unlinked on every exit path (see :func:`shared_workload`).
     """
     if delay_minutes <= 0 or horizon_minutes <= 0:
         raise ValueError("delay and horizon must be positive")
@@ -413,40 +562,34 @@ def run_fleet(
         horizon_minutes=horizon_minutes,
     )
     sharded = bool(workers and workers > 1)
-    segment: Optional[shared_memory.SharedMemory] = None
-    shm_views: Optional[Dict[str, _ShmSlice]] = None
-    if (
-        sharded
-        and workload is not None
-        and multiprocessing.get_start_method(allow_none=False) == "fork"
-    ):
-        # Ship the per-object traces through one shared-memory segment
-        # instead of pickling a list per shard; workers read their slice
-        # by (name, start, stop).  Fold results are byte-identical to the
-        # pickling path (tests/fleet/test_runner.py asserts workers=0 vs 2).
-        # Gated on the fork start method: the single-unlink cleanup in
-        # _read_shm_slice relies on workers sharing the parent's resource
-        # tracker; under spawn/forkserver each worker's tracker would
-        # unlink the segment at exit, so those platforms keep pickling.
-        segment, shm_views = _share_workload(catalog, workload)
-    args = list(
-        _shard_args(
-            catalog,
-            workload,
-            mean_interarrival_minutes,
-            delay_minutes,
-            horizon_minutes,
-            policy,
-            seed,
-            shm_views,
+    with contextlib.ExitStack() as stack:
+        shm_views: Optional[Dict[str, _ShmSlice]] = None
+        if (
+            sharded
+            and workload is not None
+            and multiprocessing.get_start_method(allow_none=False) == "fork"
+        ):
+            # Ship the per-object traces through one shared-memory segment
+            # instead of pickling a list per shard; workers read their slice
+            # by (name, start, stop).  Fold results are byte-identical to the
+            # pickling path (tests/fleet/test_runner.py asserts workers=0 vs 2).
+            # Gated on the fork start method: the single-unlink cleanup in
+            # _read_shm_slice relies on workers sharing the parent's resource
+            # tracker; under spawn/forkserver each worker's tracker would
+            # unlink the segment at exit, so those platforms keep pickling.
+            shm_views = stack.enter_context(shared_workload(catalog, workload))
+        args = list(
+            _shard_args(
+                catalog,
+                workload,
+                mean_interarrival_minutes,
+                delay_minutes,
+                horizon_minutes,
+                policy,
+                seed,
+                shm_views,
+            )
         )
-    )
-    try:
         for result in pool_map(_run_shard, args, workers=workers):
             report.objects.append(result)
-    finally:
-        if segment is not None:
-            segment.close()
-            with contextlib.suppress(FileNotFoundError):
-                segment.unlink()
     return report

@@ -14,12 +14,14 @@ Adding a figure is: write/pick an evaluator, declare a ``SweepSpec``,
 format the rows (see README "The sweep tier").
 """
 
-from .cache import DEFAULT_CACHE_DIR, SweepCache
+from .cache import ARTIFACT_SCHEMA, DEFAULT_CACHE_DIR, QUARANTINE_DIR, SweepCache
 from .engine import SweepResult, configure_sweeps, run_sweep, sweep_defaults
 from .spec import Axis, SweepSpec, canonical_json
 
 __all__ = [
+    "ARTIFACT_SCHEMA",
     "Axis",
+    "QUARANTINE_DIR",
     "SweepSpec",
     "SweepCache",
     "SweepResult",

@@ -1,0 +1,79 @@
+"""CLI exit codes are contracts — asserted through real subprocesses."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _run(*args: str, timeout: float = 300.0) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+        timeout=timeout,
+    )
+
+
+class TestBurninCli:
+    def test_clean_soak_exits_zero(self, tmp_path):
+        report = tmp_path / "soak.json"
+        proc = _run(
+            "burnin", "--episodes", "5", "--seed", "1",
+            "--report", str(report),
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "burn-in soak: OK" in proc.stdout
+        payload = json.loads(report.read_text())
+        assert payload["ok"] is True
+
+    def test_contract_violation_exits_three(self):
+        proc = _run("burnin", "--episodes", "2", "--selftest-violation")
+        assert proc.returncode == 3, proc.stdout + proc.stderr
+        assert "VIOLATED" in proc.stdout
+
+
+class TestFleetCli:
+    def test_clean_fleet_exits_zero(self):
+        proc = _run(
+            "fleet", "--objects", "6", "--horizon", "120",
+            "--mean-interarrival", "0.5", "--check",
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "contracts: OK" in proc.stdout
+
+
+class TestExperimentsCli:
+    def test_unknown_experiment_exits_two(self):
+        proc = _run("no-such-experiment")
+        assert proc.returncode == 2
+
+    def test_list_exits_zero(self):
+        proc = _run("list")
+        assert proc.returncode == 0
+        assert "Available experiments" in proc.stdout
+
+
+class TestFiniteContractUnit:
+    """The experiments exit-code path, unit-tested in-process (no real
+    experiment emits NaN, so the violation branch is driven directly)."""
+
+    def test_finite_ok(self):
+        from repro.cli import _finite_ok
+        from repro.experiments.harness import ExperimentResult
+
+        good = ExperimentResult("t", ("a",), [(1.0,), (2,)])
+        bad = ExperimentResult("t", ("a",), [(float("nan"),)])
+        assert _finite_ok([good])
+        assert not _finite_ok([good, bad])

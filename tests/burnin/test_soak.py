@@ -1,0 +1,96 @@
+"""The soak driver: long fault-injected runs, reproducible evidence."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.burnin import FAULT_FAMILIES, SoakConfig, SoakReport, run_soak
+
+
+class TestSoakAcceptance:
+    @pytest.fixture(scope="class")
+    def soak_pair(self, tmp_path_factory):
+        """Two full 50-episode soaks with the same seed (the acceptance
+        run, executed twice for the byte-reproducibility assertion)."""
+        config = SoakConfig(episodes=50, seed=0)
+        td = tmp_path_factory.mktemp("soak")
+        first = run_soak(config)
+        path_a = first.write(td / "a.json")
+        path_b = run_soak(config).write(td / "b.json")
+        return first, path_a, path_b
+
+    def test_fifty_episodes_zero_violations(self, soak_pair):
+        report, _, _ = soak_pair
+        assert len(report.episodes) == 50
+        assert report.ok, report.render()
+        assert report.violations == 0
+        assert report.checks > 0
+
+    def test_all_fault_families_exercised(self, soak_pair):
+        report, _, _ = soak_pair
+        counts = report.fault_counts()
+        assert set(counts) == set(FAULT_FAMILIES)
+        for family, count in counts.items():
+            assert count == 10, f"{family} ran {count} episodes, wanted 10"
+
+    def test_injected_faults_actually_landed(self, soak_pair):
+        report, _, _ = soak_pair
+        by_fault = {}
+        for e in report.episodes:
+            by_fault.setdefault(e["fault"], []).append(e["evidence"])
+        assert all(ev["fired"] for ev in by_fault["worker-kill"])
+        assert all(ev["quarantined"] > 0 for ev in by_fault["torn-cache"])
+        assert all(ev["repaired"] > 0 for ev in by_fault["malformed-trace"])
+        assert all(
+            ev["dropped"] > 0 for ev in by_fault["flash-overload"]
+        ), "undersized budgets must shed"
+
+    def test_same_seed_reproduces_report_byte_for_byte(self, soak_pair):
+        _, path_a, path_b = soak_pair
+        assert path_a.read_bytes() == path_b.read_bytes()
+
+    def test_report_is_valid_json_with_schema(self, soak_pair):
+        _, path_a, _ = soak_pair
+        payload = json.loads(path_a.read_text())
+        assert payload["schema"] == "repro.burnin-soak.v1"
+        assert payload["ok"] is True
+        assert payload["totals"]["episodes"] == 50
+        assert payload["totals"]["violations"] == 0
+
+
+class TestSoakBehaviour:
+    def test_different_seed_different_report(self, tmp_path):
+        a = run_soak(SoakConfig(episodes=5, seed=1)).write(tmp_path / "a.json")
+        b = run_soak(SoakConfig(episodes=5, seed=2)).write(tmp_path / "b.json")
+        assert a.read_bytes() != b.read_bytes()
+
+    def test_selftest_violation_is_detected(self):
+        report = run_soak(SoakConfig(episodes=2, seed=0, selftest_violation=True))
+        assert not report.ok
+        assert report.violations >= 1
+        failed = [
+            o["name"]
+            for e in report.episodes
+            for o in e["contracts"]["outcomes"]
+            if not o["ok"]
+        ]
+        assert "fleet.delay-guarantee" in failed
+
+    def test_serial_soak_also_passes(self):
+        """workers=1 keeps everything in-process (the kill guard makes
+        worker-kill episodes vacuous but still contract-checked)."""
+        report = run_soak(SoakConfig(episodes=5, seed=4, workers=1))
+        assert report.ok, report.render()
+
+    def test_render_mentions_failures(self):
+        report = run_soak(SoakConfig(episodes=1, seed=0, selftest_violation=True))
+        text = report.render()
+        assert "VIOLATED" in text and "episode 0" in text
+
+    def test_report_roundtrip_totals(self):
+        report = run_soak(SoakConfig(episodes=5, seed=7))
+        payload = report.to_json()
+        assert payload["totals"]["checks"] == report.checks
+        assert len(payload["episodes"]) == 5

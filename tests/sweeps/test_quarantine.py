@@ -1,0 +1,104 @@
+"""SweepCache corruption handling: quarantine, recount, recompute."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.sweeps import ARTIFACT_SCHEMA, Axis, SweepCache, SweepSpec, run_sweep
+from repro.sweeps.evaluators import merge_cost_table_point
+
+
+def _spec():
+    return SweepSpec(
+        name="quarantine-test",
+        evaluator=merge_cost_table_point,
+        axes=[Axis("n", (1, 2, 3))],
+        metrics=("closed", "via_dp"),
+    )
+
+
+def _artifacts(cache: SweepCache):
+    return [
+        p
+        for p in cache.root.rglob("*.json")
+        if p.parent != cache.quarantine_dir
+    ]
+
+
+CORRUPTIONS = {
+    "truncated": lambda text: text[: len(text) // 2],
+    "not-json": lambda text: "{definitely not json",
+    "wrong-schema": lambda text: json.dumps(
+        {"schema": "bogus.v9", "metrics": {"x": 1}}
+    ),
+    "non-dict": lambda text: json.dumps([1, 2, 3]),
+    "non-scalar-metric": lambda text: json.dumps(
+        {"schema": ARTIFACT_SCHEMA, "metrics": {"x": [1, 2]}}
+    ),
+    "wrong-key": lambda text: json.dumps(
+        {"schema": ARTIFACT_SCHEMA, "key": "f" * 64, "metrics": {"x": 1}}
+    ),
+}
+
+
+class TestQuarantine:
+    @pytest.mark.parametrize("mode", sorted(CORRUPTIONS))
+    def test_corrupt_artifact_quarantined_and_recomputed(self, tmp_path, mode):
+        cache = SweepCache(tmp_path)
+        warm = run_sweep(_spec(), cache=cache)
+        victim = _artifacts(cache)[0]
+        victim.write_text(CORRUPTIONS[mode](victim.read_text()))
+        res = run_sweep(_spec(), cache=cache)
+        assert cache.quarantined == 1
+        assert res.evaluated == 1 and res.cache_hits == 2
+        assert res.rows() == warm.rows()
+        # the bad artifact is preserved for post-mortem, out of the path
+        assert len(list(cache.quarantine_dir.glob("*.json"))) == 1
+
+    def test_binary_garbage_quarantined(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        run_sweep(_spec(), cache=cache)
+        victim = _artifacts(cache)[0]
+        victim.write_bytes(b"\x00\xff\xfe binary trash")
+        res = run_sweep(_spec(), cache=cache)
+        assert cache.quarantined == 1 and res.evaluated == 1
+
+    def test_quarantined_artifacts_not_counted_live(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        run_sweep(_spec(), cache=cache)
+        assert len(cache) == 3
+        victim = _artifacts(cache)[0]
+        victim.write_text("{torn")
+        run_sweep(_spec(), cache=cache)
+        # recomputed artifact replaced the torn one; quarantine not counted
+        assert len(cache) == 3
+        assert cache.quarantined == 1
+
+    def test_clear_removes_quarantine_too(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        run_sweep(_spec(), cache=cache)
+        _artifacts(cache)[0].write_text("{torn")
+        run_sweep(_spec(), cache=cache)
+        removed = cache.clear()
+        assert removed == 4  # 3 live + 1 quarantined
+        assert len(cache) == 0
+
+    def test_missing_artifact_is_plain_miss(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        assert cache.get("ab" * 32) is None
+        assert cache.misses == 1 and cache.quarantined == 0
+
+    def test_legacy_artifact_without_key_still_hits(self, tmp_path):
+        """Artifacts written before the ``key`` field existed must keep
+        hitting (schema compatibility)."""
+        cache = SweepCache(tmp_path)
+        key = "cd" * 32
+        path = cache.path(key)
+        path.parent.mkdir(parents=True)
+        path.write_text(
+            json.dumps({"schema": ARTIFACT_SCHEMA, "metrics": {"x": 1}})
+        )
+        assert cache.get(key) == {"x": 1}
+        assert cache.hits == 1 and cache.quarantined == 0
