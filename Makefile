@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python
 
-.PHONY: test bench bench-general bench-sim bench-fleet bench-experiments bench-smoke burnin burnin-smoke
+.PHONY: test bench bench-general bench-sim bench-fleet bench-experiments bench-live bench-smoke burnin burnin-smoke live-smoke
 
 ## tier-1 test suite (must stay green)
 test:
@@ -33,11 +33,16 @@ bench-fleet:
 bench-experiments:
 	$(PY) benchmarks/bench_experiments.py
 
+## live-tier maintenance sweep: regenerates BENCH_live.json (incremental
+## forest vs per-epoch full rebuild over a 96-epoch day; ~30 seconds)
+bench-live:
+	$(PY) benchmarks/bench_live.py
+
 ## quick pytest-benchmark pass over the fastpath + general-arrivals +
-## flat-simulation + fleet + experiments smoke cases (CI job; every run
-## asserts fast == reference)
+## flat-simulation + fleet + experiments + live smoke cases (CI job;
+## every run asserts fast == reference)
 bench-smoke:
-	$(PY) -m pytest benchmarks/bench_fastpath.py benchmarks/bench_general.py benchmarks/bench_sim.py benchmarks/bench_fleet.py benchmarks/bench_experiments.py --benchmark-only -q
+	$(PY) -m pytest benchmarks/bench_fastpath.py benchmarks/bench_general.py benchmarks/bench_sim.py benchmarks/bench_fleet.py benchmarks/bench_experiments.py benchmarks/bench_live.py --benchmark-only -q
 
 ## full fault-injected soak: 50 episodes across every fault family,
 ## every standing contract checked after each; writes the evidence
@@ -49,3 +54,9 @@ burnin:
 ## fires at least twice; non-zero exit on any contract violation
 burnin-smoke:
 	$(PY) -m repro burnin --episodes 10
+
+## live-tier acceptance soak (CI job): accelerated diurnal day through
+## the epoch daemon with a mid-run checkpoint/restore and an injected
+## worker kill; exits 5 on any lead-time, equality, or fence violation
+live-smoke:
+	$(PY) -m repro live --smoke

@@ -1,7 +1,14 @@
 """Workload generators and arrival traces for the MoD simulations."""
 
 from .generators import bursty, constant_rate, every_slot, poisson, rng_from
-from .serialization import load_trace, save_trace, trace_from_json, trace_to_json
+from .serialization import (
+    load_trace,
+    save_trace,
+    trace_from_json,
+    trace_from_payload,
+    trace_payload,
+    trace_to_json,
+)
 from .traces import ArrivalTrace
 
 __all__ = [
@@ -14,5 +21,7 @@ __all__ = [
     "rng_from",
     "save_trace",
     "trace_from_json",
+    "trace_from_payload",
+    "trace_payload",
     "trace_to_json",
 ]

@@ -52,6 +52,7 @@ __all__ = [
     "ContractReport",
     "check_admission_report",
     "check_fleet_report",
+    "check_live_report",
     "check_sweep_result",
     "fleet_reports_equal",
 ]
@@ -427,4 +428,201 @@ def check_admission_report(
         1,
         "feasible verdict with a non-empty dropped set",
     )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Live-report contracts
+# ---------------------------------------------------------------------------
+
+
+def _check_ahead_of_fence(records, out: ContractReport) -> None:
+    """No commit decision ever reached past its fence, and nothing whose
+    window already closed was left uncommitted behind it."""
+    checks = 0
+    bad: List[str] = []
+    for rec in records:
+        if rec.drain:
+            continue  # the drain has no fence: everything commits
+        checks += 2
+        fence = rec.fence
+        if fence is None:
+            bad.append(f"epoch {rec.epoch}: non-drain record without a fence")
+            continue
+        if rec.max_committed_cutoff is not None and (
+            rec.max_committed_cutoff >= fence + _EPS
+        ):
+            bad.append(
+                f"epoch {rec.epoch}: committed a window ending "
+                f"{rec.max_committed_cutoff:g} min at/past the fence {fence:g}"
+            )
+        if rec.min_live_cutoff is not None and (
+            rec.min_live_cutoff < fence - _EPS
+        ):
+            bad.append(
+                f"epoch {rec.epoch}: window ending {rec.min_live_cutoff:g} min "
+                f"is behind the fence {fence:g} but was not committed"
+            )
+    out.record("live.ahead-of-fence", not bad, checks, "; ".join(bad[:3]))
+
+
+def _check_fence_monotone(records, out: ContractReport) -> None:
+    checks = 0
+    bad: List[str] = []
+    prev = None
+    for i, rec in enumerate(records):
+        checks += 1
+        if rec.drain and i != len(records) - 1:
+            bad.append(f"record {i}: drain is not the final record")
+        if prev is None:
+            if not rec.drain and rec.epoch != 0:
+                bad.append(f"first record is epoch {rec.epoch}, not 0")
+            prev = rec
+            continue
+        if not rec.drain and rec.epoch != prev.epoch + 1:
+            bad.append(
+                f"epoch {rec.epoch} follows {prev.epoch}: not one at a time"
+            )
+        if rec.ingest_clock < prev.ingest_clock:
+            bad.append(f"epoch {rec.epoch}: ingest clock moved backwards")
+        if (
+            not rec.drain
+            and rec.fence is not None
+            and prev.fence is not None
+            and rec.fence < prev.fence
+        ):
+            bad.append(f"epoch {rec.epoch}: fence moved backwards")
+        if rec.committed_streams < prev.committed_streams or any(
+            a < b for a, b in zip(rec.committed_counts, prev.committed_counts)
+        ):
+            bad.append(f"epoch {rec.epoch}: committed counts shrank")
+        prev = rec
+    out.record("live.fence-monotone", not bad, checks, "; ".join(bad[:3]))
+
+
+def _check_commit_immutability(report, out: ContractReport) -> None:
+    """Every record's digest must be reproducible from the *final*
+    interval arrays truncated at that record's committed counts — i.e.
+    commits only ever appended; nothing already emitted was rewritten."""
+    from ..live.daemon import live_digest
+
+    per_object = [(o.starts, o.ends) for o in report.fleet.objects]
+    checks = 0
+    bad: List[str] = []
+    for rec in report.records:
+        checks += 1
+        if len(rec.committed_counts) != len(per_object):
+            bad.append(f"epoch {rec.epoch}: count tuple arity mismatch")
+            continue
+        expected = live_digest(per_object, rec.committed_counts)
+        if rec.digest != expected:
+            bad.append(
+                f"epoch {rec.epoch}: digest {rec.digest} != {expected} — "
+                "a committed stream changed after emission"
+            )
+    out.record(
+        "live.committed-prefix-immutability", not bad, checks, "; ".join(bad[:3])
+    )
+
+
+def _check_live_conservation(report, out: ContractReport) -> None:
+    checks = 3
+    bad: List[str] = []
+    records = report.records
+    if not records or not records[-1].drain:
+        bad.append("run did not end in a drain record")
+    else:
+        last = records[-1]
+        if last.committed_streams != report.fleet.streams or list(
+            last.committed_counts
+        ) != [o.streams for o in report.fleet.objects]:
+            bad.append("final committed counts != fleet stream counts")
+        if sum(r.ingested for r in records) != report.fleet.clients:
+            bad.append(
+                f"ingested {sum(r.ingested for r in records)} != "
+                f"served clients {report.fleet.clients}"
+            )
+        if last.committed_roots != sum(o.roots for o in report.fleet.objects):
+            bad.append("final committed roots != fleet root counts")
+            checks += 1
+    out.record("live.conservation", not bad, checks, "; ".join(bad[:3]))
+
+
+def _check_live_schedule(report, out: ContractReport) -> None:
+    """The incrementally emitted channel assignment must equal the batch
+    greedy stream for stream, and use exactly peak-concurrency channels
+    (the greedy's optimality) — per object."""
+    from ..simulation.channels import assign_channels_flat, peak_concurrency
+
+    checks = 0
+    bad: List[str] = []
+    for o in report.fleet.objects:
+        channels = report.channels.get(o.name)
+        checks += 2
+        if channels is None or channels.size != o.streams:
+            bad.append(f"{o.name}: channel array missing or wrong length")
+            continue
+        if o.streams == 0:
+            continue
+        batch = assign_channels_flat(o.starts, o.ends)
+        if not np.array_equal(channels, batch):
+            bad.append(f"{o.name}: incremental channels != batch greedy")
+            continue
+        peak = peak_concurrency(o.starts, o.ends)
+        if int(channels.max()) + 1 != peak:
+            bad.append(
+                f"{o.name}: {int(channels.max()) + 1} channels != peak {peak}"
+            )
+    out.record("live.schedule", not bad, checks, "; ".join(bad[:3]))
+
+
+def _check_live_oracle(report, catalog, workload, out: ContractReport) -> None:
+    from ..fleet.runner import run_fleet
+
+    oracle = run_fleet(
+        catalog,
+        delay_minutes=report.config.delay_minutes,
+        horizon_minutes=report.config.horizon_minutes,
+        policy=FleetPolicy(report.config.policy),
+        workload=workload,
+        workers=0,
+    )
+    diff = fleet_reports_equal(report.fleet, oracle)
+    out.record(
+        "live.oracle-equality",
+        diff is None,
+        len(catalog),
+        f"daemon output differs from the offline batch oracle: {diff}",
+    )
+
+
+def check_live_report(
+    report,
+    catalog: Optional[Catalog] = None,
+    workload: Optional[Dict[str, object]] = None,
+    budget_channels: Optional[int] = None,
+) -> ContractReport:
+    """Assert every live standing invariant on a finished
+    :class:`~repro.live.daemon.LiveReport`.
+
+    The fence/epoch invariants (decisions ahead of the fence, monotone
+    clocks, committed-prefix immutability via digest recomputation,
+    conservation, incremental-schedule == batch greedy) always run; the
+    cumulative :class:`~repro.fleet.runner.FleetReport` additionally
+    passes through the summary-level fleet contracts, and providing
+    ``catalog`` + ``workload`` arms the offline-batch-oracle equality
+    check (``fleet_reports_equal``).
+    """
+    out = ContractReport()
+    _check_ahead_of_fence(report.records, out)
+    _check_fence_monotone(report.records, out)
+    _check_commit_immutability(report, out)
+    _check_live_conservation(report, out)
+    _check_live_schedule(report, out)
+    for outcome in check_fleet_report(
+        report.fleet, budget_channels=budget_channels, replay=False
+    ).outcomes:
+        out.outcomes.append(outcome)
+    if catalog is not None and workload is not None:
+        _check_live_oracle(report, catalog, workload, out)
     return out

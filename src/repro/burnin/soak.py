@@ -27,6 +27,12 @@ cache) under one *fault family* — followed by the full contract battery
     the engine must absorb it with the delay guarantee intact, and
     admission control under an undersized budget must shed honestly
     (capacity contract on the admitted set).
+``live-replay``
+    The workload is served online through a
+    :class:`~repro.live.daemon.LiveDaemon` (rolling-horizon epochs,
+    fence-gated commits) with a mid-run checkpoint/restore; the resumed
+    run must replay byte-identically and the whole live contract battery
+    (fence, immutability, schedule, offline-oracle equality) must hold.
 
 Everything — scenario choice, policy choice, fault parameters, workload
 draws — flows from ``SoakConfig.seed`` through spawned
@@ -51,6 +57,7 @@ from ..fleet.capacity import admission_report
 from ..fleet.engine import FleetPolicy
 from ..fleet.runner import FleetReport, _times_of, run_fleet
 from ..fleet.scenarios import scenario_workload
+from ..live import LIVE_POLICIES, LiveConfig, LiveDaemon
 from ..multiplex.catalog import Catalog
 from ..sweeps.cache import SweepCache
 from ..sweeps.engine import run_sweep
@@ -60,6 +67,7 @@ from .contracts import (
     ContractReport,
     check_admission_report,
     check_fleet_report,
+    check_live_report,
     check_sweep_result,
     fleet_reports_equal,
 )
@@ -82,10 +90,13 @@ FAULT_FAMILIES = (
     "torn-cache",
     "malformed-trace",
     "flash-overload",
+    "live-replay",
 )
 
-#: scenario and policy rotations; lengths coprime with the fault cycle so
-#: long soaks cover the cross product.
+#: scenario and policy rotations; the fault cycle shares factors with
+#: both, so ``live-replay`` spins its own policy rotation over
+#: ``LIVE_POLICIES`` (the fleet policy the cycle hands it would
+#: otherwise always be the same one).
 _SCENARIOS = ("zipf", "flash", "diurnal", "blend")
 _POLICIES = ("batched-dyadic", "delay-guaranteed", "pure-batching")
 
@@ -389,6 +400,46 @@ def _episode_flash_overload(
     }
 
 
+def _episode_live_replay(ctx, out: ContractReport, episode: int) -> Dict[str, object]:
+    config, catalog, workload, _policy = ctx
+    live_policy = LIVE_POLICIES[
+        (episode // len(FAULT_FAMILIES)) % len(LIVE_POLICIES)
+    ]
+    live_config = LiveConfig(
+        delay_minutes=config.delay_minutes,
+        horizon_minutes=config.horizon_minutes,
+        epoch_minutes=config.horizon_minutes / 12.0,
+        fence_minutes=config.horizon_minutes / 8.0,
+        policy=live_policy,
+    )
+    daemon = LiveDaemon(catalog, live_config)
+    half = live_config.num_epochs // 2
+    daemon.run(workload, until_epoch=half - 1)
+    snapshot = daemon.checkpoint()
+    report = daemon.run(workload)
+    assert report is not None
+    resumed = LiveDaemon.restore(snapshot).run(workload)
+    assert resumed is not None
+    diff = fleet_reports_equal(resumed.fleet, report.fleet)
+    replay_ok = diff is None and [r.to_payload() for r in resumed.records] == [
+        r.to_payload() for r in report.records
+    ]
+    out.record(
+        "fault.recovered",
+        replay_ok,
+        1,
+        f"checkpoint/restore replay differs from the uninterrupted run: {diff}",
+    )
+    _merge(out, check_live_report(report, catalog, workload=workload))
+    return {
+        "live_policy": live_policy,
+        "epochs": len(report.records),
+        "restore_epoch": int(half),
+        "clients": int(report.fleet.clients),
+        "streams": int(report.fleet.streams),
+    }
+
+
 def _tampered(report: FleetReport) -> FleetReport:
     """A copy of a clean report with one object's delay summary inflated
     past the guarantee — the self-test violation the harness must catch."""
@@ -438,8 +489,10 @@ def run_soak(config: Optional[SoakConfig] = None) -> SoakReport:
                 evidence = _episode_torn_cache(out, i)
             elif fault == "malformed-trace":
                 evidence = _episode_malformed_trace(ctx, out, fault_seed)
-            else:
+            elif fault == "flash-overload":
                 evidence = _episode_flash_overload(ctx, out, i, fault_seed)
+            else:
+                evidence = _episode_live_replay(ctx, out, i)
         except Exception:
             # An unhandled exception is itself a contract violation: the
             # soak must survive every injected fault.

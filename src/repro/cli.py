@@ -8,6 +8,7 @@ Usage::
     python -m repro all --save results/
     python -m repro fleet --objects 120 --scenario flash
     python -m repro burnin --episodes 50 --report soak.json
+    python -m repro live --scenario diurnal --accel 720
 
 Grid experiments run through the sweep tier (:mod:`repro.sweeps`):
 ``--workers`` shards point evaluation across processes and ``--cache``
@@ -16,12 +17,14 @@ a parameter tweak recomputes only the dirty points.
 
 ``fleet`` is not a paper experiment but the catalog-scale serving +
 capacity-planning front end (see :mod:`repro.fleet.cli`); ``burnin`` is
-the fault-injected soak harness (see :mod:`repro.burnin.cli`).  Both
-take their own options and are dispatched before the experiment parser
-runs.  Exit codes are contracts: ``fleet`` exits 4 when a standing
-fleet/admission invariant fails, ``burnin`` exits 3 on any soak
-violation, experiments exit 4 when a reported table contains non-finite
-values.
+the fault-injected soak harness (see :mod:`repro.burnin.cli`); ``live``
+is the rolling-horizon online serving daemon (see
+:mod:`repro.live.cli`).  All three take their own options and are
+dispatched before the experiment parser runs.  Exit codes are
+contracts: ``fleet`` exits 4 when a standing fleet/admission invariant
+fails, ``burnin`` exits 3 on any soak violation, ``live`` exits 5 when
+a live invariant (fence, immutability, oracle equality) fails,
+experiments exit 4 when a reported table contains non-finite values.
 
 Each experiment prints the same rows/series the paper reports (see
 DESIGN.md for the experiment index and EXPERIMENTS.md for recorded
@@ -103,6 +106,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .burnin.cli import burnin_main
 
         return burnin_main(argv[1:])
+    if argv and argv[0] == "live":
+        from .live.cli import live_main
+
+        return live_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate tables/figures from Bar-Noy, Goshi & Ladner "

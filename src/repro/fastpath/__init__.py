@@ -25,6 +25,12 @@ reference implementations in :mod:`repro.core` — the O(n^2)/O(n^3) DPs in
   incremental :class:`~repro.fastpath.dyadic.DyadicFlatOnline`), with the
   recursive / ``MergeNode`` constructions of ``baselines.dyadic`` as
   oracles;
+* :mod:`repro.fastpath.incremental` —
+  :class:`~repro.fastpath.incremental.IncrementalFlatForest`, the
+  rolling-horizon forest behind ``repro.live``: append-arrival /
+  extend-stream / evict-completed-tree in amortised O(log n), vectorised
+  epoch ingest, node-for-node equal to the batch construction on every
+  prefix;
 * :mod:`repro.fastpath.replay` — batched replay verification of whole
   merge forests (Section 2 receiving programs, Lemma 1/17 tightness,
   Lemma 15 buffer peaks) as per-level vectorised interval algebra,
@@ -52,6 +58,7 @@ from .general import (
 )
 from .flat_forest import FlatForest
 from .dyadic import DyadicFlatOnline, dyadic_flat_cost, dyadic_flat_forest
+from .incremental import CommittedTree, IncrementalFlatForest
 from .replay import replay_verify_forest, replay_verify_forest_continuous
 
 __all__ = [
@@ -65,6 +72,8 @@ __all__ = [
     "optimal_flat_forest_general",
     "optimal_flat_tree_general",
     "FlatForest",
+    "CommittedTree",
+    "IncrementalFlatForest",
     "DyadicFlatOnline",
     "dyadic_flat_cost",
     "dyadic_flat_forest",

@@ -1,0 +1,621 @@
+"""The live serving daemon: epoch loop, ledgers, checkpoint/restore.
+
+:class:`LiveDaemon` turns the batch fleet pipeline inside out.  Offline,
+:func:`repro.fleet.runner.run_fleet` sees every arrival up front,
+sanitizes once, builds each object's merge forest whole, and folds a
+:class:`~repro.fleet.runner.FleetReport`.  The daemon ingests the same
+arrivals **epoch by epoch**, maintains each object's forest incrementally
+on an :class:`~repro.fastpath.incremental.IncrementalFlatForest`, commits
+streams as the fence passes their merge windows (emitting channel
+assignments through :class:`~repro.live.schedule.ChannelPlanner` the
+moment each tree is final), and evicts committed trees from live memory —
+yet its cumulative report is **bit-identical** to the offline oracle on
+the same trace: same per-object ``starts``/``ends`` arrays, counters,
+bandwidth and startup metrics (``fleet_reports_equal`` returns None;
+``tests/live/test_daemon.py`` and the burn-in live episodes assert it).
+
+Why bit-identical is achievable at all: for every live-servable policy
+(:data:`~repro.live.horizon.LIVE_POLICIES`) the realised forest is a pure
+function of the arrival prefix, slot bucketing is exact in slot units
+(``floor(t) + 1`` reproduces the event loop's searchsorted against float
+slot-end times), tree structure depends only on a tree's own members, and
+every per-stream quantity (Lemma 1 lengths via ``z``, minute-scale
+``starts``/``ends``) is evaluated with the same scalar expressions the
+batch kernel uses.  The fold order (catalog order, arrival order within
+an object) matches, so even ``float(np.sum(...))`` reductions agree to
+the last bit.
+
+Checkpoint format (``repro.live-checkpoint.v1``): a JSON envelope with
+the config, the last ingested epoch, the catalog, and one arrival-trace
+payload (:func:`repro.arrivals.serialization.trace_payload`) per object
+holding the clean minutes ingested so far plus its repaired count.
+``restore`` rebuilds the daemon by *replaying* those epochs through the
+normal ingest path — state is a pure function of the clean prefix, so the
+restored daemon (records, digests, forests, planners) is identical to one
+that never stopped, which the burn-in episode proves end to end with
+``fleet_reports_equal`` across a mid-run checkpoint/restore.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import json
+import math
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..arrivals.serialization import trace_from_payload, trace_payload
+from ..arrivals.traces import ArrivalTrace
+from ..fastpath.flat_forest import FlatForest
+from ..fastpath.incremental import IncrementalFlatForest
+from ..multiplex.catalog import Catalog, MediaObject
+from ..fleet.runner import (
+    FleetObjectResult,
+    FleetReport,
+    _times_of,
+    sanitize_times,
+)
+from .horizon import LiveConfig, LiveHorizon
+from .schedule import ChannelPlanner
+
+__all__ = [
+    "CHECKPOINT_SCHEMA",
+    "EpochRecord",
+    "LiveDaemon",
+    "LiveReport",
+    "live_digest",
+]
+
+CHECKPOINT_SCHEMA = "repro.live-checkpoint.v1"
+REPORT_SCHEMA = "repro.live-report.v1"
+
+_EMPTY = np.empty(0, dtype=np.float64)
+
+_FOREST_KINDS = ("batched-dyadic", "immediate-dyadic")
+_SLOTTED_KINDS = ("batched-dyadic", "pure-batching")
+
+
+def live_digest(
+    per_object: Sequence[Tuple[np.ndarray, np.ndarray]],
+    counts: Sequence[int],
+) -> str:
+    """Digest of the first ``counts[i]`` committed intervals per object.
+
+    The committed-prefix-immutability witness: each epoch record carries
+    ``live_digest`` of the streams committed *so far*; because committed
+    arrays only ever grow at the end, recomputing the digest from the
+    **final** arrays truncated at each record's counts must reproduce
+    every record's digest (``burnin.contracts.check_live_report``).
+    """
+    h = hashlib.sha256()
+    for (starts, ends), count in zip(per_object, counts):
+        h.update(np.ascontiguousarray(starts[:count]).tobytes())
+        h.update(np.ascontiguousarray(ends[:count]).tobytes())
+    return h.hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class EpochRecord:
+    """One epoch's decision summary (or the final drain record).
+
+    All cumulative fields count from daemon birth; ``fence`` is None only
+    on the drain record (the stream ended — everything commits).
+    ``lead_seconds`` is the wall-clock margin by which the epoch's
+    decisions beat the next batch's (accelerated) deadline; it is
+    measurement, not state, and is excluded from the serialised payload
+    so reports stay byte-reproducible.
+    """
+
+    epoch: int
+    ingest_clock: float
+    fence: Optional[float]
+    drain: bool
+    ingested: int
+    repaired: int
+    committed_streams: int
+    committed_roots: int
+    committed_counts: Tuple[int, ...]
+    max_committed_cutoff: Optional[float]
+    min_live_cutoff: Optional[float]
+    digest: str
+    lead_seconds: Optional[float] = None
+
+    def to_payload(self) -> dict:
+        return {
+            "epoch": self.epoch,
+            "ingest_clock": self.ingest_clock,
+            "fence": self.fence,
+            "drain": self.drain,
+            "ingested": self.ingested,
+            "repaired": self.repaired,
+            "committed_streams": self.committed_streams,
+            "committed_roots": self.committed_roots,
+            "committed_counts": list(self.committed_counts),
+            "max_committed_cutoff": self.max_committed_cutoff,
+            "min_live_cutoff": self.min_live_cutoff,
+            "digest": self.digest,
+        }
+
+
+class _ObjectLedger:
+    """One object's live state: forest, counters, committed intervals."""
+
+    def __init__(self, obj: MediaObject, config: LiveConfig):
+        self.obj = obj
+        self.delay = config.delay_minutes
+        self.kind = config.policy
+        self.L = obj.units(config.delay_minutes)
+        self.forest = (
+            IncrementalFlatForest(self.L) if self.kind in _FOREST_KINDS else None
+        )
+        self.pending: List[float] = []  # root-only kinds: live starts, slot units
+        self.planner = ChannelPlanner()
+        self.clients = 0
+        self.repaired = 0
+        self.roots = 0
+        self.streams = 0
+        self.max_wait_slots = 0.0
+        self.max_cutoff_minutes: Optional[float] = None
+        self.ingested: List[float] = []  # clean minutes, for checkpointing
+        self.starts: List[np.ndarray] = []  # committed, minutes
+        self.ends: List[np.ndarray] = []
+        self.channel_ids: List[np.ndarray] = []
+        self._last_push = -math.inf
+
+    def ingest(self, clean_minutes: np.ndarray) -> None:
+        """Absorb one epoch's clean, strictly-later arrival minutes."""
+        if clean_minutes.size == 0:
+            return
+        self.ingested.extend(clean_minutes.tolist())
+        self.clients += int(clean_minutes.size)
+        ts = clean_minutes / self.delay  # slot units, same division as object_run
+        if self.kind in _SLOTTED_KINDS:
+            # The serving slot end of arrival t is floor(t) + 1 — exactly
+            # the slot the event ordering gives it (a boundary arrival
+            # belongs to the *next* slot; see engine._served_slots).
+            service = np.floor(ts) + 1.0
+            self.max_wait_slots = max(
+                self.max_wait_slots, float(np.max(service - ts))
+            )
+            vals = np.unique(service)
+            vals = vals[vals > self._last_push]  # slot already served earlier
+            if vals.size == 0:
+                return
+            self._last_push = float(vals[-1])
+            push = vals
+        else:
+            push = ts  # immediate kinds serve at the arrival instant
+        if self.forest is not None:
+            self.forest.push_batch(push)
+        else:
+            self.pending.extend(push.tolist())
+
+    def commit(self, fence_slots: float) -> int:
+        """Commit every stream whose merge window closed before the fence."""
+        committed = 0
+        if self.forest is not None:
+            for tree in self.forest.evict_committable(fence_slots):
+                committed += self._emit(
+                    tree.forest.arrivals,
+                    tree.forest.stream_lengths(self.L),
+                    roots=1,
+                    cutoff_slots=tree.cutoff,
+                )
+        elif self.pending:
+            # root-only kinds: a stream is final the moment it starts, so
+            # its own start is its window end
+            n = bisect.bisect_left(self.pending, fence_slots)
+            if n:
+                vals = np.asarray(self.pending[:n], dtype=np.float64)
+                del self.pending[:n]
+                committed += self._emit(
+                    vals,
+                    np.full(n, float(self.L), dtype=np.float64),
+                    roots=n,
+                    cutoff_slots=float(vals[-1]),
+                )
+        return committed
+
+    def _emit(
+        self,
+        arrivals_slots: np.ndarray,
+        lengths_slots: np.ndarray,
+        roots: int,
+        cutoff_slots: float,
+    ) -> int:
+        # The exact minute-scale expressions of runner._simulate_object:
+        # starts = arrivals * delay, ends = (arrivals + lengths) * delay.
+        starts = arrivals_slots * self.delay
+        ends = (arrivals_slots + lengths_slots) * self.delay
+        self.starts.append(starts)
+        self.ends.append(ends)
+        self.channel_ids.append(self.planner.assign(starts, ends))
+        self.roots += roots
+        self.streams += int(starts.size)
+        cutoff_minutes = cutoff_slots * self.delay
+        if self.max_cutoff_minutes is None or cutoff_minutes > self.max_cutoff_minutes:
+            self.max_cutoff_minutes = cutoff_minutes
+        return int(starts.size)
+
+    def min_live_cutoff_minutes(self) -> Optional[float]:
+        if self.forest is not None:
+            cutoff = self.forest.min_live_cutoff()
+            return None if cutoff is None else cutoff * self.delay
+        if self.pending:
+            return self.pending[0] * self.delay
+        return None
+
+    def committed_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        if not self.starts:
+            return _EMPTY, _EMPTY
+        return np.concatenate(self.starts), np.concatenate(self.ends)
+
+    def channel_array(self) -> np.ndarray:
+        if not self.channel_ids:
+            return np.empty(0, dtype=np.intp)
+        return np.concatenate(self.channel_ids)
+
+    def result(self) -> FleetObjectResult:
+        starts, ends = self.committed_arrays()
+        if self.kind in _SLOTTED_KINDS:
+            max_startup = self.max_wait_slots * self.delay
+        else:
+            max_startup = 0.0  # immediate kinds serve at the arrival time
+        return FleetObjectResult(
+            name=self.obj.name,
+            L=self.L,
+            delay_minutes=self.delay,
+            clients=self.clients,
+            streams=int(starts.size),
+            roots=self.roots,
+            total_units_minutes=float(np.sum(ends - starts)),
+            max_startup_delay_minutes=max_startup,
+            starts=starts,
+            ends=ends,
+            repaired=self.repaired,
+        )
+
+
+@dataclass
+class LiveReport:
+    """Everything one daemon run produced."""
+
+    config: LiveConfig
+    fleet: FleetReport
+    channels: Dict[str, np.ndarray]
+    records: List[EpochRecord] = field(default_factory=list)
+
+    @property
+    def peak_channels(self) -> int:
+        return max((int(c.max()) + 1 for c in self.channels.values() if c.size), default=0)
+
+    def render(self) -> str:
+        epochs = sum(1 for r in self.records if not r.drain)
+        leads = [r.lead_seconds for r in self.records if r.lead_seconds is not None]
+        lines = [
+            f"live report — policy={self.config.policy}"
+            f"  delay={self.config.delay_minutes:g} min"
+            f"  epoch={self.config.epoch_minutes:g} min"
+            f"  fence lag={self.config.fence_minutes:g} min",
+            f"  epochs={epochs}  drained={any(r.drain for r in self.records)}"
+            f"  clients={self.fleet.clients}  streams={self.fleet.streams}"
+            f"  repaired={self.fleet.repaired}",
+            f"  committed bandwidth={self.fleet.total_units_minutes:,.0f}"
+            f" stream-minutes  max start-up delay="
+            f"{self.fleet.max_startup_delay_minutes():g} min",
+        ]
+        if leads:
+            lines.append(
+                f"  wall-clock lead: min={min(leads):.3f}s"
+                f"  median={sorted(leads)[len(leads) // 2]:.3f}s"
+            )
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        payload = {
+            "schema": REPORT_SCHEMA,
+            "config": self.config.to_payload(),
+            "records": [r.to_payload() for r in self.records],
+            "objects": [
+                {
+                    "name": o.name,
+                    "clients": o.clients,
+                    "streams": o.streams,
+                    "roots": o.roots,
+                    "channels": (
+                        int(self.channels[o.name].max()) + 1
+                        if self.channels[o.name].size
+                        else 0
+                    ),
+                    "total_units_minutes": o.total_units_minutes,
+                    "max_startup_delay_minutes": o.max_startup_delay_minutes,
+                }
+                for o in self.fleet.objects
+            ],
+            "totals": {
+                "clients": self.fleet.clients,
+                "streams": self.fleet.streams,
+                "repaired": self.fleet.repaired,
+                "total_units_minutes": self.fleet.total_units_minutes,
+            },
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+
+class LiveDaemon:
+    """Rolling-horizon online serving of a catalog (see module docstring).
+
+    Two driving styles share one ingest path:
+
+    * :meth:`run` — replay a workload mapping epoch by epoch (optionally
+      paced against accelerated wall-clock), stopping early at
+      ``until_epoch`` for mid-run checkpoints;
+    * :meth:`step` — operational push of one epoch's raw batches, with
+      per-batch sanitisation (entries outside the epoch window, below
+      the trace contract, or duplicated are repaired away, exactly like
+      the fleet's ingest path).
+    """
+
+    def __init__(self, catalog: Catalog, config: LiveConfig):
+        self.catalog = catalog
+        self.config = config
+        self.horizon = LiveHorizon(config)
+        self._ledgers: Dict[str, _ObjectLedger] = {
+            obj.name: _ObjectLedger(obj, config) for obj in catalog
+        }
+        self.records: List[EpochRecord] = []
+        self._repaired_folded = False
+
+    # -- epoch machinery -------------------------------------------------------
+
+    def _commit_all(self, fence_minutes: float) -> None:
+        fence_slots = fence_minutes / self.config.delay_minutes
+        for obj in self.catalog:
+            self._ledgers[obj.name].commit(fence_slots)
+
+    def _make_record(self, ingested: int, drain: bool) -> EpochRecord:
+        ledgers = [self._ledgers[obj.name] for obj in self.catalog]
+        counts = tuple(led.streams for led in ledgers)
+        cutoffs = [
+            led.max_cutoff_minutes
+            for led in ledgers
+            if led.max_cutoff_minutes is not None
+        ]
+        live = [
+            c for led in ledgers if (c := led.min_live_cutoff_minutes()) is not None
+        ]
+        record = EpochRecord(
+            epoch=self.horizon.epoch,
+            ingest_clock=self.horizon.ingest_clock,
+            fence=self.horizon.fence,
+            drain=drain,
+            ingested=ingested,
+            repaired=sum(led.repaired for led in ledgers),
+            committed_streams=sum(counts),
+            committed_roots=sum(led.roots for led in ledgers),
+            committed_counts=counts,
+            max_committed_cutoff=max(cutoffs) if cutoffs else None,
+            min_live_cutoff=min(live) if live else None,
+            digest=live_digest(
+                [led.committed_arrays() for led in ledgers], counts
+            ),
+        )
+        self.records.append(record)
+        return record
+
+    def _process_epoch(self, k: int, slices: Dict[str, np.ndarray]) -> EpochRecord:
+        self.horizon.begin_epoch(k)
+        ingested = 0
+        for obj in self.catalog:
+            ts = slices.get(obj.name, _EMPTY)
+            ingested += int(ts.size)
+            self._ledgers[obj.name].ingest(ts)
+        assert self.horizon.fence is not None
+        self._commit_all(self.horizon.fence)
+        return self._make_record(ingested, drain=False)
+
+    # -- driving ---------------------------------------------------------------
+
+    def step(self, batches: Dict[str, Union[ArrivalTrace, np.ndarray, Sequence[float]]]) -> EpochRecord:
+        """Ingest the next epoch from raw operational batches.
+
+        Epoch ``k`` accepts arrivals in its own window ``[t0, t1)``;
+        everything else in a batch — non-finite, out-of-window (early
+        *or* late), duplicate — is repaired away and counted, mirroring
+        :func:`~repro.fleet.runner.sanitize_times`.  Entries at or below
+        an object's last ingested time are likewise dropped (a replayed
+        batch cannot corrupt a committed tree: the forest's watermark
+        would refuse it before the ledger ever saw it).
+        """
+        k = self.horizon.epoch + 1
+        t0, t1 = self.config.epoch_bounds(k)
+        slices: Dict[str, np.ndarray] = {}
+        for obj in self.catalog:
+            raw = batches.get(obj.name)
+            if raw is None:
+                continue
+            times = _times_of(raw)
+            clean, repaired = sanitize_times(times, self.config.horizon_minutes)
+            led = self._ledgers[obj.name]
+            last = led.ingested[-1] if led.ingested else -math.inf
+            lo = max(t0, np.nextafter(last, math.inf))
+            keep = clean[(clean >= lo) & (clean < t1)]
+            led.repaired += repaired + int(clean.size - keep.size)
+            slices[obj.name] = keep
+        self._repaired_folded = True  # step() accounts repairs itself
+        return self._process_epoch(k, slices)
+
+    def run(
+        self,
+        workload: Dict[str, Union[ArrivalTrace, np.ndarray, Sequence[float]]],
+        until_epoch: Optional[int] = None,
+        accel: Optional[float] = None,
+    ) -> Optional[LiveReport]:
+        """Replay a workload mapping through the epoch loop.
+
+        The workload is sanitised whole (identically to ``run_fleet``)
+        and sliced into epochs, so the daemon sees exactly the clean
+        trace the offline oracle would — the precondition for bit-exact
+        report equality.  ``until_epoch`` stops after that epoch without
+        draining (checkpoint, then call ``run`` again — on this daemon
+        or a restored one — with the same workload to continue).
+        ``accel`` paces ingestion against wall-clock at ``accel``
+        simulated minutes per second: epoch ``k`` is processed no
+        earlier than its data exists, and each record's ``lead_seconds``
+        measures how far ahead of the next batch's deadline the commit
+        decisions landed.  Returns the final :class:`LiveReport` after
+        the drain, or None when stopping early.
+        """
+        clean_by_name: Dict[str, np.ndarray] = {}
+        for obj in self.catalog:
+            raw = workload.get(obj.name)
+            times = _EMPTY if raw is None else _times_of(raw)
+            clean, repaired = sanitize_times(times, self.config.horizon_minutes)
+            clean_by_name[obj.name] = clean
+            if not self._repaired_folded:
+                self._ledgers[obj.name].repaired += repaired
+        self._repaired_folded = True
+
+        wall0 = time.monotonic()
+        accel_base = self.horizon.ingest_clock  # resumed runs pace from here
+        for k in range(self.horizon.epoch + 1, self.config.num_epochs):
+            if until_epoch is not None and k > until_epoch:
+                return None
+            t0, t1 = self.config.epoch_bounds(k)
+            if accel is not None:
+                due = (t1 - accel_base) / accel
+                now = time.monotonic() - wall0
+                if due > now:
+                    time.sleep(due - now)
+            slices = {
+                name: clean[
+                    np.searchsorted(clean, t0, side="left"):
+                    np.searchsorted(clean, t1, side="left")
+                ]
+                for name, clean in clean_by_name.items()
+            }
+            self._process_epoch(k, slices)
+            if accel is not None:
+                next_due = (t1 + self.config.epoch_minutes - accel_base) / accel
+                lead = next_due - (time.monotonic() - wall0)
+                self.records[-1] = replace(self.records[-1], lead_seconds=lead)
+        if until_epoch is not None:
+            return None
+        self.drain()
+        return self.report()
+
+    def drain(self) -> EpochRecord:
+        """End of stream: commit everything still live, close the run."""
+        self.horizon.mark_drained()
+        self._commit_all(math.inf)
+        return self._make_record(0, drain=True)
+
+    def report(self) -> LiveReport:
+        fleet = FleetReport(
+            policy=self.config.policy,
+            delay_minutes=self.config.delay_minutes,
+            horizon_minutes=self.config.horizon_minutes,
+            objects=[self._ledgers[obj.name].result() for obj in self.catalog],
+        )
+        channels = {
+            obj.name: self._ledgers[obj.name].channel_array()
+            for obj in self.catalog
+        }
+        return LiveReport(
+            config=self.config,
+            fleet=fleet,
+            channels=channels,
+            records=list(self.records),
+        )
+
+    # -- checkpoint / restore --------------------------------------------------
+
+    def checkpoint(self) -> str:
+        """Serialise the daemon's ingested prefix as JSON.
+
+        State is a pure function of (config, catalog, clean ingested
+        minutes per object), so that is all the checkpoint holds — no
+        forest internals, no planner heaps.  Restore replays.
+        """
+        if self.horizon.drained:
+            raise RuntimeError("nothing to checkpoint: the stream was drained")
+        objects = {}
+        for obj in self.catalog:
+            led = self._ledgers[obj.name]
+            trace = ArrivalTrace(
+                times=tuple(led.ingested), horizon=self.config.horizon_minutes
+            )
+            objects[obj.name] = trace_payload(
+                trace, meta={"repaired": led.repaired}
+            )
+        payload = {
+            "schema": CHECKPOINT_SCHEMA,
+            "config": self.config.to_payload(),
+            "epoch": self.horizon.epoch,
+            "catalog": [
+                {
+                    "name": obj.name,
+                    "duration_minutes": obj.duration_minutes,
+                    "weight": obj.weight,
+                }
+                for obj in self.catalog
+            ],
+            "objects": objects,
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    @classmethod
+    def restore(cls, text: str) -> "LiveDaemon":
+        """Rebuild a daemon from :meth:`checkpoint` output, by replay.
+
+        The restored daemon is indistinguishable from one that never
+        stopped (same ledgers, records, digests, planner state); calling
+        :meth:`run` with the original workload continues exactly where
+        the checkpoint left off.
+        """
+        payload = json.loads(text)
+        if payload.get("schema") != CHECKPOINT_SCHEMA:
+            raise ValueError(
+                f"not a live checkpoint (schema={payload.get('schema')!r})"
+            )
+        config = LiveConfig.from_payload(payload["config"])
+        catalog = Catalog(
+            [
+                MediaObject(
+                    name=str(entry["name"]),
+                    duration_minutes=float(entry["duration_minutes"]),
+                    weight=float(entry["weight"]),
+                )
+                for entry in payload["catalog"]
+            ]
+        )
+        daemon = cls(catalog, config)
+        clean_by_name: Dict[str, np.ndarray] = {}
+        for obj in catalog:
+            entry = payload["objects"].get(obj.name)
+            if entry is None:
+                raise ValueError(f"checkpoint is missing object {obj.name!r}")
+            trace = trace_from_payload(entry)
+            clean_by_name[obj.name] = np.asarray(trace.times, dtype=np.float64)
+            # fold repaired up front so replayed records carry the same
+            # cumulative counts the original run's records did
+            daemon._ledgers[obj.name].repaired = int(
+                entry.get("meta", {}).get("repaired", 0)
+            )
+        daemon._repaired_folded = True
+        last_epoch = int(payload["epoch"])
+        for k in range(0, last_epoch + 1):
+            t0, t1 = config.epoch_bounds(k)
+            slices = {
+                name: clean[
+                    np.searchsorted(clean, t0, side="left"):
+                    np.searchsorted(clean, t1, side="left")
+                ]
+                for name, clean in clean_by_name.items()
+            }
+            daemon._process_epoch(k, slices)
+        return daemon

@@ -10,6 +10,7 @@ from .server import (
     aggregate_peak,
     aggregate_profile,
     dg_object_load,
+    dyadic_envelope,
     dyadic_object_load,
     min_delay_for_budget,
     serve_catalog,
@@ -25,6 +26,7 @@ __all__ = [
     "aggregate_profile",
     "catalog_workload",
     "dg_object_load",
+    "dyadic_envelope",
     "dyadic_object_load",
     "min_delay_for_budget",
     "serve_catalog",

@@ -20,6 +20,7 @@ Dyadic merging is load-dependent; :func:`serve_catalog` quantifies both.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -40,6 +41,7 @@ __all__ = [
     "ObjectLoad",
     "MultiplexReport",
     "dg_object_load",
+    "dyadic_envelope",
     "dyadic_object_load",
     "aggregate_peak",
     "aggregate_profile",
@@ -127,6 +129,33 @@ def dg_object_load(
     )
 
 
+@lru_cache(maxsize=1024)
+def dyadic_envelope(
+    trace_minutes: ArrivalTrace,
+    delay_minutes: float,
+    L: int,
+    params: DyadicParams,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """One object's dyadic stream intervals in slot units, memoised.
+
+    The dyadic counterpart of :func:`repro.fleet.capacity.dg_envelope`:
+    the forest — hence its ``(labels, starts, ends)`` — is a pure
+    function of ``(trace, delay, L, params)``, and provisioning sweeps
+    repeat exactly those keys (objects sharing a duration under one
+    workload, the same catalog re-provisioned across candidate budgets
+    or parameter grids).  Each repeat reuses the built arrays instead of
+    rebuilding the forest.  The returned arrays are read-only; callers
+    scale *copies* into minutes (``_load_from_arrays`` multiplies into
+    fresh arrays).
+    """
+    ts = [t / delay_minutes for t in trace_minutes]
+    forest = dyadic_flat_forest(ts, L, params)
+    labels, starts, ends = flat_forest_intervals(forest, L)
+    for a in (labels, starts, ends):
+        a.setflags(write=False)
+    return labels, starts, ends
+
+
 def dyadic_object_load(
     obj: MediaObject,
     delay_minutes: float,
@@ -136,7 +165,8 @@ def dyadic_object_load(
     """Immediate-service dyadic load for one object's request trace.
 
     ``delay_minutes`` only sets the slot scale for ``L`` (the dyadic
-    algorithm itself serves immediately).  Empty traces cost nothing.
+    algorithm itself serves immediately).  Empty traces cost nothing
+    (and never touch the envelope memo).
     """
     L = obj.units(delay_minutes)
     if len(trace_minutes) == 0:
@@ -151,12 +181,9 @@ def dyadic_object_load(
             clients=0,
         )
     params = params or DyadicParams()
-    # dyadic works in slot units; convert the trace, then scale back.
-    # Flat construction: provisioning sweeps over whole catalogs no
-    # longer pay MergeNode recursion per object.
-    ts = [t / delay_minutes for t in trace_minutes]
-    forest = dyadic_flat_forest(ts, L, params)
-    labels, starts, ends = flat_forest_intervals(forest, L)
+    labels, starts, ends = dyadic_envelope(
+        trace_minutes, delay_minutes, L, params
+    )
     return _load_from_arrays(
         obj.name, L, delay_minutes, labels, starts, ends,
         clients=len(trace_minutes),

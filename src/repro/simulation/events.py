@@ -15,6 +15,16 @@ sequence number is drawn *at postpone time*, execution order (including
 every equal-timestamp tie) is identical to the eager cancel-and-
 reschedule it replaces — a chain of k extensions costs O(k) plus one
 O(log n) re-push instead of k heap pushes.
+
+Laziness must not leak memory: a workload that cancels or postpones far
+more than it pops (long-lived daemons, cancel-heavy policies) would grow
+the heap without bound on tombstones alone.  The queue therefore counts
+its stale entries and **compacts** — rebuilds the heap with cancelled
+entries dropped and deferred ``(time, seq)`` applied in place — whenever
+tombstones outnumber live entries (above a small floor).  Compaction
+applies exactly the keys a lazy resurface would have used, so execution
+order is untouched; ``tests/simulation/test_events.py`` pins the
+eager-vs-lazy equivalence across the compaction boundary.
 """
 
 from __future__ import annotations
@@ -50,8 +60,15 @@ class Event:
             return
         self.cancelled = True
         if self._queue is not None:
-            self._queue._live -= 1
+            queue = self._queue
             self._queue = None
+            queue._live -= 1
+            if self.deferred_time is None:  # a postponed entry is already stale
+                queue._note_tombstone()
+
+
+#: below this heap size compaction is never worth the rebuild.
+_MIN_COMPACT_SIZE = 16
 
 
 class EventQueue:
@@ -63,6 +80,43 @@ class EventQueue:
         self.now: float = 0.0
         self._processed = 0
         self._live = 0
+        self._tombstones = 0  # stale heap entries: cancelled or deferred
+        self._compactions = 0
+
+    @property
+    def compactions(self) -> int:
+        """Number of tombstone compactions performed (observability)."""
+        return self._compactions
+
+    def _note_tombstone(self) -> None:
+        self._tombstones += 1
+        if (
+            len(self._heap) >= _MIN_COMPACT_SIZE
+            and self._tombstones > len(self._heap) // 2
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without tombstones.
+
+        Cancelled entries are dropped; deferred entries get the exact
+        ``(time, seq)`` a lazy resurface would have applied, so the heap
+        order after ``heapify`` is the order the lazy path would have
+        reached — equivalence, not approximation.
+        """
+        keep = []
+        for event in self._heap:
+            if event.cancelled:
+                continue
+            if event.deferred_time is not None:
+                event.time = event.deferred_time
+                event.seq = event.deferred_seq
+                event.deferred_time = event.deferred_seq = None
+            keep.append(event)
+        self._heap = keep
+        heapq.heapify(self._heap)
+        self._tombstones = 0
+        self._compactions += 1
 
     def __len__(self) -> int:
         # O(1): maintained on schedule / cancel / pop instead of scanning
@@ -112,14 +166,18 @@ class EventQueue:
             raise ValueError(
                 f"postpone cannot move an event earlier: {new_time} < {current}"
             )
+        fresh = event.deferred_time is None  # re-postponing is already stale
         event.deferred_time = new_time
         event.deferred_seq = next(self._counter)
+        if fresh:
+            self._note_tombstone()
 
     def _resurface(self, event: Event) -> None:
         """Re-push a popped tombstone at its deferred ``(time, seq)``."""
         event.time = event.deferred_time
         event.seq = event.deferred_seq
         event.deferred_time = event.deferred_seq = None
+        self._tombstones -= 1
         heapq.heappush(self._heap, event)
 
     def peek_time(self) -> Optional[float]:
@@ -128,6 +186,7 @@ class EventQueue:
             head = self._heap[0]
             if head.cancelled:
                 heapq.heappop(self._heap)
+                self._tombstones -= 1
             elif head.deferred_time is not None:
                 self._resurface(heapq.heappop(self._heap))
             else:
@@ -139,6 +198,7 @@ class EventQueue:
         while self._heap:
             event = heapq.heappop(self._heap)
             if event.cancelled:
+                self._tombstones -= 1
                 continue
             if event.deferred_time is not None:
                 self._resurface(event)

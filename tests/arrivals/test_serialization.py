@@ -12,6 +12,8 @@ from repro.arrivals.serialization import (
     load_trace,
     save_trace,
     trace_from_json,
+    trace_from_payload,
+    trace_payload,
     trace_to_json,
 )
 
@@ -79,3 +81,79 @@ class TestValidation:
         }
         with pytest.raises(ValueError):
             trace_from_json(json.dumps(doc))
+
+
+class TestPayloadHelpers:
+    """Dict-level envelopes: what composite documents (the live daemon's
+    checkpoint) embed without double-encoding JSON strings."""
+
+    def test_payload_round_trip(self):
+        trace = poisson(0.5, 30.0, seed=9)
+        payload = trace_payload(trace, meta={"repaired": 3})
+        assert payload["schema"] == "repro.arrival-trace.v1"
+        assert payload["count"] == len(trace)
+        assert payload["meta"] == {"repaired": 3}
+        assert trace_from_payload(payload) == trace
+
+    def test_payload_survives_json_embedding(self):
+        trace = poisson(0.5, 30.0, seed=10)
+        document = {"objects": {"movie": trace_payload(trace)}}
+        recovered = trace_from_payload(
+            json.loads(json.dumps(document))["objects"]["movie"]
+        )
+        assert recovered == trace
+
+    def test_json_helpers_are_the_payload_helpers(self):
+        trace = poisson(0.5, 30.0, seed=11)
+        assert json.loads(trace_to_json(trace)) == trace_payload(trace)
+
+
+class TestPartialTraces:
+    """Round trips on the shapes a mid-run checkpoint actually produces."""
+
+    def test_mid_horizon_cut(self):
+        full = poisson(0.3, 60.0, seed=21)
+        cut = full.restrict(0.0, 25.0)  # the ingested prefix of a live run
+        assert 0 < len(cut) < len(full)
+        back = trace_from_payload(trace_payload(cut))
+        assert back == cut
+        assert back.horizon == 25.0
+        assert all(t < 25.0 for t in back.times)
+
+    def test_interior_window_is_reanchored_and_round_trips(self):
+        full = poisson(0.3, 60.0, seed=22)
+        window = full.restrict(20.0, 40.0)
+        back = trace_from_json(trace_to_json(window))
+        assert back == window and back.horizon == 20.0
+
+    def test_zero_arrival_epoch(self):
+        empty = ArrivalTrace(times=(), horizon=15.0)
+        back = trace_from_payload(trace_payload(empty, meta={"repaired": 0}))
+        assert back == empty and len(back) == 0
+
+    def test_single_client_object(self):
+        lone = ArrivalTrace(times=(7.25,), horizon=90.0)
+        back = trace_from_payload(trace_payload(lone))
+        assert back == lone and back.times == (7.25,)
+
+    def test_partial_cut_is_bit_exact_not_approximate(self):
+        full = poisson(0.05, 45.0, seed=23)
+        cut = full.restrict(0.0, 17.0)
+        back = trace_from_json(trace_to_json(cut))
+        # float equality, not approx: checkpoints must replay identically
+        assert all(a == b for a, b in zip(back.times, cut.times))
+
+    def test_payload_rejects_times_past_the_cut_horizon(self):
+        payload = trace_payload(ArrivalTrace(times=(1.0, 2.0), horizon=10.0))
+        payload["horizon"] = 1.5  # a torn checkpoint: times escape horizon
+        with pytest.raises(ValueError):
+            trace_from_payload(payload)
+
+    def test_payload_rejects_wrong_schema_and_count(self):
+        payload = trace_payload(ArrivalTrace(times=(1.0,), horizon=5.0))
+        bad_schema = dict(payload, schema="bogus")
+        with pytest.raises(ValueError, match="schema"):
+            trace_from_payload(bad_schema)
+        bad_count = dict(payload, count=2)
+        with pytest.raises(ValueError, match="declared"):
+            trace_from_payload(bad_count)

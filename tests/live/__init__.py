@@ -1,0 +1,1 @@
+"""Tests for the rolling-horizon live serving tier."""

@@ -1,0 +1,63 @@
+"""``python -m repro live`` — exit codes are contracts."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main as repro_main
+from repro.live.cli import EXIT_LIVE_VIOLATION, live_main
+
+FAST = [
+    "--objects", "4",
+    "--duration", "40",
+    "--horizon", "60",
+    "--epoch", "10",
+    "--fence", "15",
+    "--mean-interarrival", "0.8",
+    "--seed", "3",
+]
+
+
+class TestLiveCli:
+    def test_clean_run_exits_zero(self, capsys):
+        assert live_main(FAST) == 0
+        out = capsys.readouterr().out
+        assert "live report" in out
+        assert "contracts: OK" in out
+
+    def test_dispatched_from_the_top_level_cli(self, capsys):
+        assert repro_main(["live", *FAST]) == 0
+        assert "live report" in capsys.readouterr().out
+
+    def test_report_file_is_written(self, tmp_path, capsys):
+        path = tmp_path / "live.json"
+        assert live_main([*FAST, "--report", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == "repro.live-report.v1"
+        assert payload["totals"]["clients"] > 0
+
+    @pytest.mark.parametrize("policy", ["immediate-dyadic", "unicast"])
+    def test_other_policies(self, policy):
+        assert live_main([*FAST, "--policy", policy]) == 0
+
+    def test_batch_only_policy_is_rejected_by_the_parser(self, capsys):
+        with pytest.raises(SystemExit):
+            live_main([*FAST, "--policy", "delay-guaranteed"])
+
+    def test_violation_exit_code_value(self):
+        # the exit code is a published contract (README, CI)
+        assert EXIT_LIVE_VIOLATION == 5
+
+
+class TestLiveSmoke:
+    def test_smoke_passes_accelerated(self, capsys):
+        # high acceleration keeps the paced run short; the smoke still
+        # exercises checkpoint/restore, contracts, lead measurement and
+        # the injected worker kill on the sharded oracle
+        assert live_main(["--smoke", "--accel", "4000"]) == 0
+        out = capsys.readouterr().out
+        assert "checkpoint/restore replay identical" in out
+        assert "worker kill fired" in out
+        assert "all checks passed" in out

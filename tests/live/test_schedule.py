@@ -1,0 +1,88 @@
+"""ChannelPlanner must equal the batch greedy, stream for stream."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.live import ChannelPlanner
+from repro.simulation.channels import assign_channels_flat, peak_concurrency
+
+
+def _random_intervals(rng, n):
+    starts = np.sort(rng.uniform(0.0, 100.0, size=n))
+    ends = starts + rng.uniform(0.01, 30.0, size=n)
+    return starts, ends
+
+
+class TestPlannerEqualsBatchGreedy:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_single_feed(self, seed):
+        rng = np.random.default_rng(seed)
+        starts, ends = _random_intervals(rng, 200)
+        planner = ChannelPlanner()
+        got = planner.assign(starts, ends)
+        want = assign_channels_flat(starts, ends)
+        np.testing.assert_array_equal(got, want)
+        assert planner.channels == int(want.max()) + 1
+        assert planner.channels == peak_concurrency(starts, ends)
+
+    @pytest.mark.parametrize("chunk", [1, 3, 17, 1000])
+    def test_chunked_feed_is_the_identical_array(self, chunk):
+        rng = np.random.default_rng(42)
+        starts, ends = _random_intervals(rng, 300)
+        planner = ChannelPlanner()
+        got = np.concatenate(
+            [
+                planner.assign(starts[i : i + chunk], ends[i : i + chunk])
+                for i in range(0, starts.size, chunk)
+            ]
+        )
+        np.testing.assert_array_equal(got, assign_channels_flat(starts, ends))
+
+    def test_free_time_ties_broken_fifo_like_the_oracle(self):
+        # two channels free at exactly t=10; the one released first
+        # (channel 0) must be reused first — the oracle's seq-numbered heap
+        planner = ChannelPlanner()
+        a = planner.assign([0.0, 1.0], [10.0, 10.0])
+        b = planner.assign([10.0, 10.0], [20.0, 21.0])
+        np.testing.assert_array_equal(a, [0, 1])
+        np.testing.assert_array_equal(
+            np.concatenate([a, b]),
+            assign_channels_flat([0.0, 1.0, 10.0, 10.0], [10.0, 10.0, 20.0, 21.0]),
+        )
+
+    def test_boundary_release_reuses_channel(self):
+        planner = ChannelPlanner()
+        out = planner.assign([0.0, 5.0], [5.0, 9.0])  # frees exactly at start
+        np.testing.assert_array_equal(out, [0, 0])
+        assert planner.channels == 1
+
+
+class TestPlannerValidation:
+    def test_empty_batch_is_a_no_op(self):
+        planner = ChannelPlanner()
+        assert planner.assign([], []).size == 0
+        assert planner.channels == 0
+
+    def test_rejects_out_of_order_feed_across_calls(self):
+        planner = ChannelPlanner()
+        planner.assign([5.0], [6.0])
+        with pytest.raises(ValueError, match="nondecreasing start order"):
+            planner.assign([4.0], [7.0])
+
+    def test_rejects_out_of_order_feed_within_a_call(self):
+        with pytest.raises(ValueError, match="nondecreasing start order"):
+            ChannelPlanner().assign([1.0, 0.5], [2.0, 2.0])
+
+    def test_rejects_empty_or_reversed_interval(self):
+        with pytest.raises(ValueError, match="empty or reversed"):
+            ChannelPlanner().assign([1.0], [1.0])
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(ValueError, match="finite"):
+            ChannelPlanner().assign([np.nan], [2.0])
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError, match="equal length"):
+            ChannelPlanner().assign([1.0, 2.0], [3.0])

@@ -1,0 +1,116 @@
+"""The dyadic envelope memo: fewer forest builds, identical answers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arrivals.traces import ArrivalTrace
+from repro.baselines.dyadic import DyadicParams
+from repro.fastpath.dyadic import dyadic_flat_forest
+from repro.multiplex import Catalog, catalog_workload, serve_catalog
+from repro.multiplex.server import dyadic_envelope, dyadic_object_load
+from repro.simulation.channels import flat_forest_intervals
+
+HORIZON = 60.0
+DELAY = 2.0
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return Catalog.zipf(6, duration_minutes=40.0)
+
+
+@pytest.fixture(scope="module")
+def workload(catalog):
+    return catalog_workload(catalog, 0.5, HORIZON, seed=13)
+
+
+class TestMemoProbeCounts:
+    def test_repeated_sweeps_hit_the_cache(self, catalog, workload):
+        dyadic_envelope.cache_clear()
+        # a provisioning sweep re-serving the same catalog (re-bracketing
+        # budgets, re-rendering a figure) repeats every (trace, delay, L,
+        # params) key exactly
+        for _ in range(4):
+            serve_catalog(
+                catalog, DELAY, HORIZON, policy="dyadic", workload=workload
+            )
+        info = dyadic_envelope.cache_info()
+        populated = sum(1 for t in workload.values() if len(t) > 0)
+        assert info.misses <= populated
+        assert info.hits >= 3 * info.misses, info
+
+    def test_distinct_keys_miss(self, catalog, workload):
+        dyadic_envelope.cache_clear()
+        serve_catalog(catalog, DELAY, HORIZON, policy="dyadic", workload=workload)
+        first = dyadic_envelope.cache_info().misses
+        # a different delay rescales every trace: all-new keys
+        serve_catalog(catalog, DELAY / 2, HORIZON, policy="dyadic", workload=workload)
+        assert dyadic_envelope.cache_info().misses > first
+        # different dyadic params likewise
+        serve_catalog(
+            catalog, DELAY, HORIZON, policy="dyadic", workload=workload,
+            params=DyadicParams(alpha=2.0, beta=0.5),
+        )
+        assert dyadic_envelope.cache_info().misses > first + 1
+
+    def test_empty_traces_never_touch_the_memo(self, catalog):
+        dyadic_envelope.cache_clear()
+        empty = {
+            obj.name: ArrivalTrace(times=(), horizon=HORIZON) for obj in catalog
+        }
+        report = serve_catalog(
+            catalog, DELAY, HORIZON, policy="dyadic", workload=empty
+        )
+        assert report.peak_channels == 0
+        info = dyadic_envelope.cache_info()
+        assert info.misses == 0 and info.hits == 0
+
+
+class TestMemoOracleEquality:
+    def test_memoised_load_equals_unmemoised_build(self, catalog, workload):
+        """Route vs hand-built forest: identical arrays, not just close."""
+        params = DyadicParams()
+        for obj in catalog:
+            trace = workload[obj.name]
+            if len(trace) == 0:
+                continue
+            load = dyadic_object_load(obj, DELAY, trace, params)
+            L = obj.units(DELAY)
+            forest = dyadic_flat_forest([t / DELAY for t in trace], L, params)
+            labels, starts, ends = flat_forest_intervals(forest, L)
+            np.testing.assert_array_equal(load.labels, labels * DELAY)
+            np.testing.assert_array_equal(load.starts, starts * DELAY)
+            np.testing.assert_array_equal(load.ends, ends * DELAY)
+            assert load.clients == len(trace)
+
+    def test_cached_reports_are_bit_identical(self, catalog, workload):
+        a = serve_catalog(catalog, DELAY, HORIZON, policy="dyadic", workload=workload)
+        b = serve_catalog(catalog, DELAY, HORIZON, policy="dyadic", workload=workload)
+        assert a.peak_channels == b.peak_channels
+        assert a.total_units_minutes == b.total_units_minutes
+        for la, lb in zip(a.loads, b.loads):
+            np.testing.assert_array_equal(la.starts, lb.starts)
+            np.testing.assert_array_equal(la.ends, lb.ends)
+            np.testing.assert_array_equal(la.labels, lb.labels)
+
+    def test_cached_arrays_are_read_only(self, workload, catalog):
+        obj = next(o for o in catalog if len(workload[o.name]) > 0)
+        trace = workload[obj.name]
+        labels, starts, ends = dyadic_envelope(
+            trace, DELAY, obj.units(DELAY), DyadicParams()
+        )
+        for arr in (labels, starts, ends):
+            with pytest.raises(ValueError):
+                arr[0] = -1.0
+
+    def test_scaling_never_mutates_the_cache(self, workload, catalog):
+        obj = next(o for o in catalog if len(workload[o.name]) > 0)
+        trace = workload[obj.name]
+        before = dyadic_envelope(trace, DELAY, obj.units(DELAY), DyadicParams())
+        snapshot = [a.copy() for a in before]
+        dyadic_object_load(obj, DELAY, trace, DyadicParams())
+        after = dyadic_envelope(trace, DELAY, obj.units(DELAY), DyadicParams())
+        for snap, arr in zip(snapshot, after):
+            np.testing.assert_array_equal(snap, arr)

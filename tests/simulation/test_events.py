@@ -229,3 +229,107 @@ class TestPostpone:
         q.schedule(6.0, lambda: log.append("y"))
         q.run()
         assert log == ["y"]
+
+
+class TestCompaction:
+    """Tombstone compaction: bounded garbage, untouched semantics."""
+
+    def test_cancel_heavy_load_triggers_compaction(self):
+        q = EventQueue()
+        events = [q.schedule(float(t), lambda: None) for t in range(64)]
+        for ev in events[1:]:
+            ev.cancel()
+        assert q.compactions >= 1
+        # the heap physically shrank: garbage is bounded by the floor
+        # below which compaction stops paying for itself
+        assert len(q._heap) < 16 and len(q) == 1
+
+    def test_below_the_floor_no_compaction(self):
+        q = EventQueue()
+        events = [q.schedule(float(t), lambda: None) for t in range(8)]
+        for ev in events:
+            ev.cancel()
+        assert q.compactions == 0
+
+    def test_execution_order_identical_across_the_boundary(self):
+        """Eager-vs-lazy equivalence exactly at the compaction trigger:
+        the same schedule/cancel/postpone script must fire in the same
+        order whether tombstones were compacted away or drained lazily."""
+
+        def script(q, log):
+            events = []
+            for t in range(40):
+                events.append(
+                    q.schedule(float(t), lambda t=t: log.append(("run", t)))
+                )
+            for ev in events[:19]:  # 19 of 40: just under half
+                ev.cancel()
+            # tied targets after postponing: order must match the eager
+            # cancel-and-reschedule sequence numbers
+            for ev in events[30:36]:
+                q.postpone(ev, 50.0)
+            events[19].cancel()  # tips tombstones past half -> compacts
+            return events
+
+        lazy_q, lazy_log = EventQueue(), []
+        script(lazy_q, lazy_log)
+        assert lazy_q.compactions >= 1
+
+        eager_q, eager_log = EventQueue(), []
+        eager_events = []
+        for t in range(40):
+            eager_events.append(
+                eager_q.schedule(float(t), lambda t=t: eager_log.append(("run", t)))
+            )
+        for ev in eager_events[:20]:
+            ev.cancel()
+        for ev in eager_events[30:36]:
+            ev.cancel()
+        # eager reschedule draws fresh sequence numbers in the same order
+        # postpone did; tied times must therefore fire in the same order
+        for i, ev in enumerate(eager_events[30:36]):
+            t = 30 + i
+            eager_q.schedule(50.0, lambda t=t: eager_log.append(("run", t)))
+
+        lazy_q.run()
+        eager_q.run()
+        assert lazy_log == eager_log
+
+    def test_postponed_events_survive_compaction_at_their_new_time(self):
+        q = EventQueue()
+        log = []
+        keep = [
+            q.schedule(float(t), lambda t=t: log.append(t)) for t in range(20)
+        ]
+        for ev in keep[:10]:
+            q.postpone(ev, 100.0 + ev.time)
+        for ev in keep[10:17]:  # push tombstones past half the heap
+            ev.cancel()
+        assert q.compactions >= 1
+        q.run()
+        # survivors first (17..19), then the postponed block in FIFO order
+        assert log == [17, 18, 19] + list(range(10))
+
+    def test_cancel_after_postpone_counts_one_tombstone(self):
+        q = EventQueue()
+        anchor = q.schedule(1000.0, lambda: None)
+        for t in range(32):
+            ev = q.schedule(float(t), lambda: None)
+            q.postpone(ev, float(t) + 1.0)
+            ev.cancel()
+        q.run(until=999.0)
+        assert len(q) == 1
+        assert q._tombstones == len(q._heap) - 1  # never negative, no drift
+        assert q._tombstones >= 0
+        anchor.cancel()
+
+    def test_len_peek_and_processed_unchanged_by_compaction(self):
+        q = EventQueue()
+        events = [q.schedule(float(t), lambda: None) for t in range(64)]
+        for ev in events[2:]:
+            ev.cancel()
+        assert q.compactions >= 1
+        assert len(q) == 2
+        assert q.peek_time() == 0.0
+        q.run()
+        assert q.processed == 2
