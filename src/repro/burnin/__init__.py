@@ -23,12 +23,14 @@ from .contracts import (
     ContractOutcome,
     ContractReport,
     check_admission_report,
+    check_columnar_store,
     check_fleet_report,
     check_sweep_result,
     fleet_reports_equal,
 )
 from .faults import (
     TornArtifact,
+    TornSegment,
     WorkerKill,
     corrupt_times,
     flash_overload,
@@ -43,8 +45,10 @@ __all__ = [
     "SoakConfig",
     "SoakReport",
     "TornArtifact",
+    "TornSegment",
     "WorkerKill",
     "check_admission_report",
+    "check_columnar_store",
     "check_fleet_report",
     "check_sweep_result",
     "corrupt_times",

@@ -51,6 +51,7 @@ __all__ = [
     "ContractOutcome",
     "ContractReport",
     "check_admission_report",
+    "check_columnar_store",
     "check_fleet_report",
     "check_live_report",
     "check_sweep_result",
@@ -370,6 +371,66 @@ def check_sweep_result(
         f"evaluated {result.evaluated} + hits {result.cache_hits} != "
         f"{spec.n_points} points",
     )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Columnar-store contracts
+# ---------------------------------------------------------------------------
+
+
+def check_columnar_store(
+    root, expected: Optional[Dict[str, np.ndarray]] = None, deep: bool = True
+) -> ContractReport:
+    """Assert the on-disk integrity of a :mod:`repro.scale.columnar` store.
+
+    Three layers, each recorded as its own outcome:
+
+    * **store.readable** — the index parses, carries the right schema,
+      and its offsets are contiguous and consistent with the segment's
+      exact byte length (anything the :class:`TornSegment` injector does
+      to the metadata or the file length trips here);
+    * **store.checksums** — every column's bytes re-hash to the CRC-32
+      the writer recorded (``deep``; catches content corruption that
+      left the length intact);
+    * **store.content** — optional ground truth: each column in
+      ``expected`` compares bit-identical to what the store returns.
+
+    A torn store must *fail* this battery, never crash it: all
+    :class:`~repro.scale.columnar.StoreError` paths are caught and
+    recorded as violations.
+    """
+    from ..scale.columnar import ColumnarStore, StoreError
+
+    out = ContractReport()
+    try:
+        store = ColumnarStore(root)
+    except StoreError as exc:
+        out.record("store.readable", False, 1, str(exc))
+        return out
+    with store:
+        out.record("store.readable", True, 1)
+        if deep:
+            try:
+                store.verify(deep=True)
+            except StoreError as exc:
+                out.record("store.checksums", False, len(store.names), str(exc))
+                return out
+            out.record("store.checksums", True, len(store.names))
+        if expected is not None:
+            bad: List[str] = []
+            names = set(store.names)
+            for name, values in expected.items():
+                if name not in names:
+                    bad.append(f"{name}: missing from the store")
+                    continue
+                if not np.array_equal(
+                    store.column(name), np.asarray(values, dtype=np.float64)
+                ):
+                    bad.append(f"{name}: column differs from ground truth")
+            out.record(
+                "store.content", not bad, len(expected), "; ".join(bad[:3])
+            )
     return out
 
 

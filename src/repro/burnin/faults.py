@@ -42,6 +42,7 @@ from ..sweeps.cache import ARTIFACT_SCHEMA
 __all__ = [
     "WorkerKill",
     "TornArtifact",
+    "TornSegment",
     "corrupt_times",
     "flash_overload",
     "installed_task_fault",
@@ -147,6 +148,69 @@ class TornArtifact:
                 )
             )
         self.corrupted += 1
+
+
+class TornSegment:
+    """Corrupt a :mod:`repro.scale.columnar` store on disk, one mode per call.
+
+    The storage-tier sibling of :class:`TornArtifact`: each invocation
+    applies the next corruption mode to the store at ``root`` —
+
+    * ``truncate`` — chop the tail off ``segment.bin`` (torn write /
+      partial copy; the length no longer matches the index);
+    * ``flip`` — overwrite bytes *inside* the segment, length intact
+      (bit rot / overlapping write; only the per-column checksums can
+      catch this one);
+    * ``garbage-index`` — replace ``index.json`` with non-JSON bytes;
+    * ``wrong-schema`` — a well-formed index claiming another schema;
+    * ``missing-index`` — delete ``index.json`` (spool died pre-publish).
+
+    Every mode must make :func:`repro.burnin.contracts.check_columnar_store`
+    report a violation — a torn store may never verify clean — and none
+    may crash the checker.  Plain counters keep the cycling
+    deterministic, as with :class:`TornArtifact`.
+    """
+
+    MODES: Tuple[str, ...] = (
+        "truncate", "flip", "garbage-index", "wrong-schema", "missing-index",
+    )
+
+    def __init__(self, root, modes: Sequence[str] = MODES):
+        unknown = set(modes) - set(self.MODES)
+        if unknown:
+            raise ValueError(f"unknown corruption modes {sorted(unknown)}")
+        self.root = os.fspath(root)
+        self.modes = tuple(modes)
+        self.torn = 0
+
+    def __call__(self) -> str:
+        """Apply the next mode; returns the mode applied."""
+        from ..scale.columnar import SCHEMA
+
+        segment = Path(self.root) / "segment.bin"
+        index = Path(self.root) / "index.json"
+        mode = self.modes[self.torn % len(self.modes)]
+        if mode == "truncate":
+            raw = segment.read_bytes()
+            segment.write_bytes(raw[: max(0, len(raw) - max(1, len(raw) // 3))])
+        elif mode == "flip":
+            raw = bytearray(segment.read_bytes())
+            if raw:
+                mid = len(raw) // 2
+                for k in range(mid, min(mid + 16, len(raw))):
+                    raw[k] ^= 0xFF
+                segment.write_bytes(bytes(raw))
+        elif mode == "garbage-index":
+            index.write_bytes(b"\x00\xffnot json at all\x00")
+        elif mode == "wrong-schema":
+            index.write_text(
+                json.dumps({"schema": "bogus.v0", "total": 0, "objects": []})
+            )
+        else:  # missing-index
+            with contextlib.suppress(FileNotFoundError):
+                index.unlink()
+        self.torn += 1
+        return mode
 
 
 def corrupt_times(

@@ -35,6 +35,7 @@ from ..core.merge_tree import (
     MergeTree,
     _as_int_if_exact,
 )
+from ..scale.kernels import forest_z
 
 __all__ = ["FlatForest", "as_flat_forest"]
 
@@ -84,17 +85,11 @@ class FlatForest:
         # because every child has a larger index than its parent.  Builders
         # that know the subtree maxima already (e.g. the flat dyadic
         # construction, where a run's subtree is exactly the run) may pass
-        # ``z`` to skip the pass; the array is trusted as-is.
+        # ``z`` to skip the pass; the array is trusted as-is.  The pass is
+        # backend-dispatched (repro.scale.kernels) — compiled under numba,
+        # the original list loop otherwise.
         if z is None:
-            zl = arr.tolist()
-            pl = par.tolist()
-            for i in range(n - 1, 0, -1):
-                p = pl[i]
-                if p >= 0:
-                    zi = zl[i]
-                    if zi > zl[p]:
-                        zl[p] = zi
-            z = np.asarray(zl, dtype=np.float64)
+            z = forest_z(arr, par)
         else:
             z = np.ascontiguousarray(z, dtype=np.float64)
             if z.shape != arr.shape:

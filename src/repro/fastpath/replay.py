@@ -51,6 +51,7 @@ from typing import List, Optional, Union
 import numpy as np
 
 from ..core.merge_tree import MergeForest, _as_int_if_exact
+from ..scale.kernels import replay_walk
 from .flat_forest import FlatForest, as_flat_forest
 
 __all__ = ["replay_verify_forest", "replay_verify_forest_continuous"]
@@ -114,61 +115,25 @@ def replay_verify_forest(
     checks = 0
     failures: List[str] = []
 
-    # -- own-stream demand (every client always uses its own stream) --------
-    p_safe = np.where(nonroot, par, 0)
-    own_demand = np.where(nonroot, np.minimum(x - x[p_safe], float(L)), float(L))
-    demanded = own_demand.copy()  # per-stream max part demanded (self first)
+    # -- demand walk (own-stream + every ancestor level) ---------------------
+    # Backend-dispatched (repro.scale.kernels.replay_walk): the numpy
+    # path is the original per-tree-level vectorised walk; the numba path
+    # a compiled per-client scalar walk of the same expressions, which
+    # re-runs the numpy walk only to enumerate failures on corrupted
+    # forests — so reports are identical across backends, failure
+    # ordering included.
+    demanded, t2max, used_total, fail_client, fail_stream, fail_demand = (
+        replay_walk(x, par, lengths, float(L), model)
+    )
     checks += n  # one streams_used check per client for its own stream
-    bad = np.nonzero(own_demand > lengths)[0]
-    for i in bad.tolist():
-        failures.append(
-            f"client {_fmt(x[i])} needs part {int(own_demand[i])} of stream "
-            f"{_fmt(x[i])}, which only has {float(lengths[i])}"
-        )
-
-    # -- ancestor-level walk -------------------------------------------------
-    # cl: client index; wprev/wcur: its ancestors at the previous/current
-    # level (wcur = the stream being demanded at this level).
-    cl = np.nonzero(nonroot)[0]
-    wprev = cl
-    wcur = par[cl]
-    t2max = np.full(n, -np.inf)  # last two-delivery slot per client
-    used_total = 0
-    while cl.size:
-        y = x[cl]
-        a_prev = x[wprev]
-        a_cur = x[wcur]
-        pcur = par[wcur]
-        cur_is_root = pcur < 0
-        q = x[np.where(cur_is_root, 0, pcur)]
-        if model == "receive-two":
-            used = (2 * y - a_prev - a_cur) < L
-            demand = np.where(
-                cur_is_root, float(L), np.minimum(2 * y - a_cur - q, float(L))
-            )
-            # Buffer stage (wprev, wcur): both streams deliver through
-            # slot min(2y - a_cur, a_cur + L) if that exceeds 2y - a_prev.
-            tu = np.minimum(2 * y - a_cur, a_cur + L)
-            valid = tu > 2 * y - a_prev
-            np.maximum.at(t2max, cl[valid], tu[valid])
-        else:  # receive-all (Lemma 17 programs)
-            used = (y - a_cur) < L
-            demand = np.where(
-                cur_is_root, float(L), np.minimum(y - q, float(L))
-            )
-        used_total += int(np.count_nonzero(used))
-        fail = used & (demand > lengths[wcur])
-        for j in np.nonzero(fail)[0].tolist():
-            failures.append(
-                f"client {_fmt(y[j])} needs part {int(demand[j])} of stream "
-                f"{_fmt(a_cur[j])}, which only has {float(lengths[wcur[j]])}"
-            )
-        np.maximum.at(demanded, wcur[used], demand[used])
-        step = pcur >= 0
-        cl = cl[step]
-        wprev = wcur[step]
-        wcur = pcur[step]
     checks += used_total
+    for c, s, d in zip(
+        fail_client.tolist(), fail_stream.tolist(), fail_demand.tolist()
+    ):
+        failures.append(
+            f"client {_fmt(x[c])} needs part {int(d)} of stream "
+            f"{_fmt(x[s])}, which only has {float(lengths[s])}"
+        )
 
     # -- per-client structural checks ---------------------------------------
     # Completeness, playback deadlines and (receive-two) fan-in <= 2 hold

@@ -33,11 +33,13 @@ from .runner import (
     FleetReport,
     fleet_profile,
     install_task_fault_hook,
+    iter_fleet,
     object_run,
     pool_map,
     run_fleet,
     sanitize_times,
     shared_workload,
+    stored_workload,
 )
 from .scenarios import (
     SCENARIOS,
@@ -74,6 +76,7 @@ __all__ = [
     "fleet_profile",
     "inject",
     "install_task_fault_hook",
+    "iter_fleet",
     "make_event_policy",
     "min_fleet_delay",
     "min_object_delay",
@@ -87,5 +90,6 @@ __all__ = [
     "shared_workload",
     "simulate_batched",
     "simulate_event",
+    "stored_workload",
     "thinned",
 ]

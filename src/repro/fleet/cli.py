@@ -17,6 +17,8 @@ import time
 from typing import List, Optional
 
 from ..multiplex.catalog import Catalog
+from ..scale.columnar import is_store
+from ..scale.kernels import configure_backend
 from .capacity import (
     admission_report,
     capacity_frontier,
@@ -56,6 +58,17 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="serving policy (default batched-dyadic)")
     parser.add_argument("--workers", type=int, default=0,
                         help="worker processes (default 0 = in-process)")
+    parser.add_argument("--store", type=str, default=None, metavar="DIR",
+                        help="ship the workload out-of-core through an "
+                        "on-disk columnar store: an existing store dir "
+                        "(repro.scale.columnar) is read directly; any "
+                        "other DIR is used as a spool parent (removed "
+                        "after the run)")
+    parser.add_argument("--backend", choices=("auto", "numpy", "numba"),
+                        default="auto",
+                        help="kernel backend (default auto: numba when "
+                        "installed, else the contract-equal numpy "
+                        "fallback)")
     parser.add_argument("--seed", type=int, default=7, help="workload seed")
     parser.add_argument("--budgets", type=str, default=None,
                         help="comma-separated channel budgets for the "
@@ -71,6 +84,9 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def fleet_main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+    backend = configure_backend(args.backend)
+    if args.backend != "auto":
+        print(f"kernel backend: {backend}")
     catalog = Catalog.zipf(
         args.objects, duration_minutes=args.duration, exponent=args.exponent
     )
@@ -79,9 +95,18 @@ def fleet_main(argv: Optional[List[str]] = None) -> int:
         f"({args.objects} objects, horizon {args.horizon:g} min)"
     )
     t0 = time.perf_counter()
-    workload = scenario_workload(
-        args.scenario, catalog, args.mean_interarrival, args.horizon, seed=args.seed
-    )
+    store = None
+    if args.store is not None:
+        store = args.store
+        if is_store(store):
+            print(f"reading workload from columnar store {store}")
+    if store is not None and is_store(store):
+        workload = None
+    else:
+        workload = scenario_workload(
+            args.scenario, catalog, args.mean_interarrival, args.horizon,
+            seed=args.seed,
+        )
     report = run_fleet(
         catalog,
         delay_minutes=args.delay,
@@ -89,6 +114,7 @@ def fleet_main(argv: Optional[List[str]] = None) -> int:
         policy=FleetPolicy(args.policy),
         workload=workload,
         workers=args.workers,
+        store=store,
     )
     elapsed = time.perf_counter() - t0
     print(report.render())

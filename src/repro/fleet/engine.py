@@ -80,6 +80,7 @@ from ..core.full_cost import build_optimal_flat_forest
 from ..core.online import build_online_flat_forest
 from ..fastpath.dyadic import dyadic_flat_forest
 from ..fastpath.flat_forest import FlatForest
+from ..scale.kernels import bucket_slots
 from ..simulation.metrics import BandwidthMetrics
 from ..simulation.server import Simulation
 from ..simulation.verify import VerificationReport, verify_forest, verify_forest_continuous
@@ -256,13 +257,15 @@ def _served_slots(
     timestamp, so an arrival exactly on a boundary belongs to the *next*
     slot — ``side="right"`` against the float end times encodes that
     rule exactly).  ``served_idx`` is the sorted set of non-empty slots.
+
+    Backend-dispatched (:func:`repro.scale.kernels.bucket_slots`): the
+    numpy path is the original ``searchsorted`` expression; the numba
+    path a compiled two-pointer sweep, exact for the sorted arrivals the
+    trace contract guarantees.  Arrivals past the last slot end are
+    never flushed by any SlotEnd — the event loop leaves them parked
+    forever; both backends mirror that as -1.
     """
-    client_slot = np.searchsorted(slot_ends, times, side="right")
-    # Arrivals past the last slot end are never flushed by any SlotEnd —
-    # the event loop leaves them parked forever; mirror that as -1.
-    client_slot = np.where(client_slot >= slot_ends.size, -1, client_slot)
-    served_idx = np.unique(client_slot[client_slot >= 0])
-    return client_slot, served_idx
+    return bucket_slots(times, slot_ends)
 
 
 def _metrics_from_arrays(

@@ -27,6 +27,9 @@ from __future__ import annotations
 
 import contextlib
 import multiprocessing
+import os
+import shutil
+import tempfile
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -49,6 +52,8 @@ import numpy as np
 from ..arrivals.generators import poisson
 from ..arrivals.traces import ArrivalTrace
 from ..multiplex.catalog import Catalog, MediaObject
+from ..scale import columnar
+from ..scale.columnar import StoreSlice
 from ..simulation.channels import interval_profile, peak_concurrency
 from .engine import BatchedResult, FleetPolicy, simulate_batched
 
@@ -56,11 +61,13 @@ __all__ = [
     "FleetObjectResult",
     "FleetReport",
     "install_task_fault_hook",
+    "iter_fleet",
     "object_run",
     "pool_map",
     "run_fleet",
     "sanitize_times",
     "shared_workload",
+    "stored_workload",
     "fleet_profile",
 ]
 
@@ -385,6 +392,45 @@ def _share_workload(
 
 
 @contextlib.contextmanager
+def stored_workload(
+    catalog: Catalog,
+    workload: Dict[str, WorkloadValue],
+    root=None,
+    chunk_size: int = columnar.DEFAULT_CHUNK,
+) -> Iterator[Dict[str, StoreSlice]]:
+    """Context-managed columnar-store shipping of an explicit workload.
+
+    The out-of-core successor to :func:`shared_workload`: the parent
+    spools each object's times into a :mod:`repro.scale.columnar` store
+    under a fresh private directory (inside ``root``, or the system temp
+    dir) and yields per-object :class:`StoreSlice` addresses; workers
+    attach the segment once and map their column zero-copy.  Unlike
+    shared memory, this works under any start method — workers open the
+    store by path — and the data never transits pickles or ``/dev/shm``.
+
+    Cleanup mirrors the PR 6 shm unlink guarantees: the store directory
+    is removed on **every** exit path — a worker crash mid-attach, an
+    exception in the fold, generator abandonment — and worker-held mmaps
+    keep reading the unlinked inode harmlessly until the process exits
+    (``tests/fleet/test_store_faults.py`` kills workers at every fold
+    index and asserts the directory is gone).
+    """
+    if root is not None:
+        root = os.fspath(root)
+        os.makedirs(root, exist_ok=True)
+    base = tempfile.mkdtemp(prefix="repro-store-", dir=root)
+    try:
+        with columnar.ColumnarWriter(base, chunk_size=chunk_size) as writer:
+            for obj in catalog:
+                if obj.name in workload:
+                    writer.add(obj.name, _times_of(workload[obj.name]))
+        yield writer.slices()
+    finally:
+        columnar.detach(base)  # drop any parent-side attachment first
+        shutil.rmtree(base, ignore_errors=True)
+
+
+@contextlib.contextmanager
 def shared_workload(
     catalog: Catalog, workload: Dict[str, WorkloadValue]
 ) -> Iterator[Dict[str, _ShmSlice]]:
@@ -476,6 +522,7 @@ def _simulate_object(
 def _run_shard(args) -> FleetObjectResult:
     """Module-level worker entry (picklable for process pools)."""
     obj, times, seed_seq, mean_gap, delay, horizon, policy = args
+    release: Optional[Tuple[columnar.ColumnarStore, StoreSlice]] = None
     if times is None:
         # In-worker thinned generation: this object's share of the global
         # Poisson stream, from its own spawned SeedSequence (shipped
@@ -486,7 +533,18 @@ def _run_shard(args) -> FleetObjectResult:
         times = np.asarray(trace.times, dtype=np.float64)
     elif isinstance(times, _ShmSlice):
         times = _read_shm_slice(times)
-    return _simulate_object(obj, times, delay, horizon, policy)
+    elif isinstance(times, StoreSlice):
+        # Columnar store: attach once per process (cached), take a
+        # zero-copy view, and give the pages back after folding so the
+        # process never keeps more than one object's column resident.
+        store = columnar.attach(times.root)
+        release = (store, times)
+        times = store.view(times)
+    try:
+        return _simulate_object(obj, times, delay, horizon, policy)
+    finally:
+        if release is not None:
+            release[0].release_slice(release[1])
 
 
 def _shard_args(
@@ -497,13 +555,19 @@ def _shard_args(
     horizon_minutes: float,
     policy: FleetPolicy,
     seed,
-    shm_views: Optional[Dict[str, _ShmSlice]] = None,
+    views: Optional[Dict[str, Union[_ShmSlice, StoreSlice]]] = None,
 ) -> Iterable[tuple]:
-    if workload is None:
+    if workload is None and views is not None:
+        # Store-only workload: every object's times come from the
+        # columnar store by name; absent objects are quiet.
+        for obj in catalog:
+            times = views.get(obj.name, _EMPTY)
+            yield (obj, times, None, None, delay_minutes, horizon_minutes, policy)
+    elif workload is None:
         if mean_interarrival_minutes is None:
             raise ValueError(
-                "need either a workload mapping or mean_interarrival_minutes "
-                "for in-worker generation"
+                "need either a workload mapping, a columnar store, or "
+                "mean_interarrival_minutes for in-worker generation"
             )
         children = np.random.SeedSequence(seed).spawn(len(catalog))
         for obj, child in zip(catalog, children):
@@ -518,12 +582,93 @@ def _shard_args(
             )
     else:
         for obj in catalog:
-            if shm_views is not None and obj.name in shm_views:
-                times = shm_views[obj.name]
+            if views is not None and obj.name in views:
+                times = views[obj.name]
             else:
                 trace = workload.get(obj.name)
                 times = _EMPTY if trace is None else _times_of(trace)
             yield (obj, times, None, None, delay_minutes, horizon_minutes, policy)
+
+
+def iter_fleet(
+    catalog: Catalog,
+    delay_minutes: float,
+    horizon_minutes: float,
+    policy: Optional[FleetPolicy] = None,
+    workload: Optional[Dict[str, ArrivalTrace]] = None,
+    mean_interarrival_minutes: Optional[float] = None,
+    seed=None,
+    workers: int = 0,
+    store=None,
+) -> Iterator[FleetObjectResult]:
+    """Stream per-object results in catalog order as workers fold them.
+
+    The incremental core of :func:`run_fleet`: each
+    :class:`FleetObjectResult` is yielded the moment its shard returns,
+    so a consumer can accumulate peaks/profiles (``fleet_profile`` on
+    stacked intervals) or spill results without ever holding a full
+    :class:`FleetReport`.  Workload shipping (shared memory or columnar
+    store) is torn down when the generator finishes **or is abandoned**
+    — the ``finally`` runs on ``close()``/GC, so early exits leak
+    nothing.
+
+    ``store`` selects the out-of-core path:
+
+    * ``None`` — PR 5 behaviour (pickled traces, or one shm segment when
+      sharded under ``fork``);
+    * ``True`` or a directory path, with ``workload`` — the workload is
+      spooled through a private on-disk columnar store
+      (:func:`stored_workload`; the path is the spool's parent
+      directory) and workers attach it instead of receiving the data;
+    * a directory created by :mod:`repro.scale.columnar`, with
+      ``workload=None`` — objects read their columns straight from the
+      existing store; the parent only ever touches the index, so a
+      10^7-client catalog run never materialises the workload in any
+      process.
+    """
+    if delay_minutes <= 0 or horizon_minutes <= 0:
+        raise ValueError("delay and horizon must be positive")
+    policy = policy or FleetPolicy.batched_dyadic()
+    sharded = bool(workers and workers > 1)
+    with contextlib.ExitStack() as stack:
+        views: Optional[Dict[str, Union[_ShmSlice, StoreSlice]]] = None
+        if store is not None and store is not False:
+            if workload is not None:
+                root = None if store is True else os.fspath(store)
+                views = stack.enter_context(
+                    stored_workload(catalog, workload, root=root)
+                )
+                workload = None  # everything ships through the store
+            else:
+                views = columnar.store_slices(store)
+        elif (
+            sharded
+            and workload is not None
+            and multiprocessing.get_start_method(allow_none=False) == "fork"
+        ):
+            # Ship the per-object traces through one shared-memory segment
+            # instead of pickling a list per shard; workers read their slice
+            # by (name, start, stop).  Fold results are byte-identical to the
+            # pickling path (tests/fleet/test_runner.py asserts workers=0 vs 2).
+            # Gated on the fork start method: the single-unlink cleanup in
+            # _read_shm_slice relies on workers sharing the parent's resource
+            # tracker; under spawn/forkserver each worker's tracker would
+            # unlink the segment at exit, so those platforms keep pickling.
+            views = stack.enter_context(shared_workload(catalog, workload))
+        args = list(
+            _shard_args(
+                catalog,
+                workload,
+                mean_interarrival_minutes,
+                delay_minutes,
+                horizon_minutes,
+                policy,
+                seed,
+                views,
+            )
+        )
+        for result in pool_map(_run_shard, args, workers=workers):
+            yield result
 
 
 def run_fleet(
@@ -535,6 +680,7 @@ def run_fleet(
     mean_interarrival_minutes: Optional[float] = None,
     seed=None,
     workers: int = 0,
+    store=None,
 ) -> FleetReport:
     """Serve a whole catalog through the batched kernel, optionally sharded.
 
@@ -550,46 +696,32 @@ def run_fleet(
     duplicated, out-of-window entries) degrades to its valid arrival
     multiset — counted per object in ``FleetObjectResult.repaired`` —
     instead of crashing the fold.  A worker process dying mid-fold is
-    retried in-process (see :func:`pool_map`); the shared-memory segment
-    is unlinked on every exit path (see :func:`shared_workload`).
+    retried in-process (see :func:`pool_map`); workload shipping state —
+    shm segment or columnar-store spool — is torn down on every exit
+    path (see :func:`shared_workload` / :func:`stored_workload`).
+
+    ``store`` (see :func:`iter_fleet`) routes workload shipping through
+    the out-of-core columnar store: pass ``True``/a spool directory with
+    a ``workload``, or an existing store directory with
+    ``workload=None`` to run straight off disk.  Reports are
+    bit-identical to the in-memory path for every chunk size and worker
+    count (``tests/scale/test_store_equivalence.py``).
     """
-    if delay_minutes <= 0 or horizon_minutes <= 0:
-        raise ValueError("delay and horizon must be positive")
-    policy = policy or FleetPolicy.batched_dyadic()
     report = FleetReport(
-        policy=policy.kind,
+        policy=(policy or FleetPolicy.batched_dyadic()).kind,
         delay_minutes=delay_minutes,
         horizon_minutes=horizon_minutes,
     )
-    sharded = bool(workers and workers > 1)
-    with contextlib.ExitStack() as stack:
-        shm_views: Optional[Dict[str, _ShmSlice]] = None
-        if (
-            sharded
-            and workload is not None
-            and multiprocessing.get_start_method(allow_none=False) == "fork"
-        ):
-            # Ship the per-object traces through one shared-memory segment
-            # instead of pickling a list per shard; workers read their slice
-            # by (name, start, stop).  Fold results are byte-identical to the
-            # pickling path (tests/fleet/test_runner.py asserts workers=0 vs 2).
-            # Gated on the fork start method: the single-unlink cleanup in
-            # _read_shm_slice relies on workers sharing the parent's resource
-            # tracker; under spawn/forkserver each worker's tracker would
-            # unlink the segment at exit, so those platforms keep pickling.
-            shm_views = stack.enter_context(shared_workload(catalog, workload))
-        args = list(
-            _shard_args(
-                catalog,
-                workload,
-                mean_interarrival_minutes,
-                delay_minutes,
-                horizon_minutes,
-                policy,
-                seed,
-                shm_views,
-            )
-        )
-        for result in pool_map(_run_shard, args, workers=workers):
-            report.objects.append(result)
+    for result in iter_fleet(
+        catalog,
+        delay_minutes,
+        horizon_minutes,
+        policy=policy,
+        workload=workload,
+        mean_interarrival_minutes=mean_interarrival_minutes,
+        seed=seed,
+        workers=workers,
+        store=store,
+    ):
+        report.objects.append(result)
     return report

@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..fleet.runner import pool_map
+from ..scale.kernels import active_backend, configure_backend
 from .cache import SweepCache
 from .spec import SweepSpec
 
@@ -35,18 +36,24 @@ __all__ = [
     "sweep_defaults",
 ]
 
-_DEFAULTS: Dict[str, object] = {"workers": 0, "cache": None}
+_DEFAULTS: Dict[str, object] = {"workers": 0, "cache": None, "backend": None}
 
 
 def configure_sweeps(
     workers: Optional[int] = None,
     cache: Union[SweepCache, str, None, bool] = None,
+    backend: Optional[str] = None,
 ) -> None:
-    """Set process-wide sweep defaults (the CLI's ``--workers/--cache``)."""
+    """Set process-wide sweep defaults (the CLI's
+    ``--workers/--cache/--backend``).  ``backend`` also reconfigures the
+    kernel backend of *this* process (see
+    :func:`repro.scale.kernels.configure_backend`)."""
     if workers is not None:
         _DEFAULTS["workers"] = int(workers)
     if cache is not None:
         _DEFAULTS["cache"] = _normalise_cache(cache)
+    if backend is not None:
+        _DEFAULTS["backend"] = configure_backend(backend)
 
 
 def sweep_defaults() -> Dict[str, object]:
@@ -92,6 +99,11 @@ class SweepResult:
     cache_hits: int = 0
     cache_misses: int = 0
     evaluated: int = 0
+    #: kernel backend the dirty points were evaluated under ("numpy" or
+    #: "numba").  Informational: both backends are contract-tested
+    #: bit-identical, which is also why cache keys ignore it — cached
+    #: artifacts are backend-portable by construction.
+    backend: str = "numpy"
 
     @property
     def n_points(self) -> int:
@@ -121,13 +133,21 @@ class SweepResult:
             "n_points": self.n_points,
             "axes": list(self.spec.axis_names),
             "metrics": list(self.spec.metrics),
+            "backend": self.backend,
             "columns": {name: self.values(name) for name in self.columns},
         }
 
 
 def _eval_point(args) -> Dict[str, object]:
-    """Worker entry: apply the evaluator to fixed params + one point."""
-    evaluator, params = args
+    """Worker entry: apply the evaluator to fixed params + one point.
+
+    The backend rides along with every task so spawned workers (which do
+    not inherit the parent's in-process kernel configuration) evaluate
+    under the same backend the parent resolved; configure_backend is a
+    cached no-op when already set.
+    """
+    evaluator, params, backend = args
+    configure_backend(backend)
     return dict(evaluator(**params))
 
 
@@ -136,17 +156,27 @@ def run_sweep(
     workers: Optional[int] = None,
     cache: Union[SweepCache, str, None, bool] = None,
     seed=None,
+    backend: Optional[str] = None,
 ) -> SweepResult:
     """Evaluate a sweep spec into a columnar result table.
 
-    ``workers``/``cache`` default to the process-wide configuration
-    (:func:`configure_sweeps`); ``cache=False`` disables caching for this
-    run regardless.  ``seed`` feeds the per-point ``SeedSequence`` spawn
-    when ``spec.spawn_seeds`` — spawned points cache only under an
-    explicit seed (entropy-seeded draws are not reproducible artifacts).
+    ``workers``/``cache``/``backend`` default to the process-wide
+    configuration (:func:`configure_sweeps`); ``cache=False`` disables
+    caching for this run regardless.  ``seed`` feeds the per-point
+    ``SeedSequence`` spawn when ``spec.spawn_seeds`` — spawned points
+    cache only under an explicit seed (entropy-seeded draws are not
+    reproducible artifacts).  ``backend`` selects the kernel backend for
+    this run's point evaluations (shipped to every worker); values are
+    bit-identical either way, so it only changes speed.
     """
     workers = int(_DEFAULTS["workers"]) if workers is None else int(workers)
     cache = _DEFAULTS["cache"] if cache is None else _normalise_cache(cache)
+    if backend is not None:
+        backend = configure_backend(backend)
+    elif _DEFAULTS["backend"] is not None:
+        backend = configure_backend(str(_DEFAULTS["backend"]))
+    else:
+        backend = active_backend()
     if not spec.cacheable:
         cache = None
 
@@ -179,7 +209,7 @@ def run_sweep(
                 results[i] = got
 
     dirty = [i for i, r in enumerate(results) if r is None]
-    args = [(spec.evaluator, params[i]) for i in dirty]
+    args = [(spec.evaluator, params[i], backend) for i in dirty]
     for i, metrics in zip(dirty, pool_map(_eval_point, args, workers=workers)):
         missing = set(spec.metrics) - set(metrics)
         if missing:
@@ -202,4 +232,5 @@ def run_sweep(
         cache_hits=hits,
         cache_misses=misses,
         evaluated=len(dirty),
+        backend=backend,
     )

@@ -1,0 +1,230 @@
+"""The out-of-core columnar arrival store: layout, atomicity, integrity.
+
+Pins the ``repro.scale.store.v1`` contract that the rest of the PR
+builds on: byte-identical files regardless of writer chunking, an index
+published atomically (an aborted writer leaves no store), zero-copy
+read-only mmap views, a per-process attach cache, and a ``verify`` that
+catches every corruption mode :class:`repro.burnin.faults.TornSegment`
+can inflict.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.burnin import TornSegment, check_columnar_store
+from repro.scale import columnar
+from repro.scale.columnar import (
+    ColumnarStore,
+    ColumnarWriter,
+    StoreError,
+    StoreSlice,
+    is_store,
+    read_slice,
+    store_slices,
+    write_store,
+)
+
+
+def _columns(seed: int, names=("alpha", "beta", "gamma"), sizes=(513, 0, 2048)):
+    rng = np.random.default_rng(seed)
+    return {
+        name: np.sort(rng.uniform(0.0, 120.0, size=size))
+        for name, size in zip(names, sizes)
+    }
+
+
+def _fingerprint(root) -> tuple:
+    root = Path(root)
+    seg = hashlib.sha256((root / "segment.bin").read_bytes()).hexdigest()
+    idx = hashlib.sha256((root / "index.json").read_bytes()).hexdigest()
+    return seg, idx
+
+
+class TestRoundtrip:
+    def test_write_then_read(self, tmp_path):
+        cols = _columns(0)
+        write_store(tmp_path, cols.items())
+        assert is_store(tmp_path)
+        with ColumnarStore(tmp_path) as store:
+            assert store.names == list(cols)
+            for name, data in cols.items():
+                view = store.column(name)
+                assert view.dtype == np.float64
+                assert not view.flags.writeable
+                assert np.array_equal(view, data)
+
+    def test_empty_column_and_empty_store(self, tmp_path):
+        write_store(tmp_path / "a", [("only", np.empty(0))])
+        with ColumnarStore(tmp_path / "a") as store:
+            assert store.column("only").size == 0
+        write_store(tmp_path / "b", [])
+        with ColumnarStore(tmp_path / "b") as store:
+            assert store.names == []
+
+    def test_unknown_column_raises(self, tmp_path):
+        write_store(tmp_path, [("x", np.arange(4.0))])
+        with ColumnarStore(tmp_path) as store:
+            with pytest.raises(StoreError, match="no column"):
+                store.column("missing")
+
+    def test_chunks_concatenate_to_column(self, tmp_path):
+        cols = _columns(1)
+        write_store(tmp_path, cols.items())
+        with ColumnarStore(tmp_path) as store:
+            for name, data in cols.items():
+                parts = [chunk.copy() for chunk in store.chunks(name, 100)]
+                joined = (
+                    np.concatenate(parts) if parts else np.empty(0, dtype=np.float64)
+                )
+                assert np.array_equal(joined, data)
+
+    def test_release_preserves_data(self, tmp_path):
+        cols = _columns(2)
+        write_store(tmp_path, cols.items())
+        with ColumnarStore(tmp_path) as store:
+            before = store.column("gamma").copy()
+            store.release("gamma")  # madvise is advisory: pages reload clean
+            assert np.array_equal(store.column("gamma"), before)
+
+
+class TestWriterContract:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 2**31 - 1))
+    def test_byte_identical_across_chunk_sizes(self, tmp_path_factory, seed):
+        cols = _columns(seed)
+        n = max(c.size for c in cols.values())
+        prints = set()
+        for chunk in (1, 7, 64, 1 << 20, max(1, n)):
+            root = tmp_path_factory.mktemp("store")
+            write_store(root, cols.items(), chunk_size=chunk)
+            prints.add(_fingerprint(root))
+        assert len(prints) == 1  # chunk_size is I/O granularity only
+
+    def test_slices_match_store_slices(self, tmp_path):
+        cols = _columns(3)
+        with ColumnarWriter(tmp_path) as writer:
+            for name, data in cols.items():
+                writer.add(name, data)
+            slices = writer.slices()
+        assert slices == store_slices(tmp_path)
+        for sl in slices.values():
+            assert isinstance(sl, StoreSlice)
+            assert np.array_equal(read_slice(sl), cols[sl.name])
+        columnar.detach(tmp_path)
+
+    def test_duplicate_name_rejected(self, tmp_path):
+        with ColumnarWriter(tmp_path) as writer:
+            writer.add("x", np.arange(3.0))
+            with pytest.raises(StoreError, match="duplicate"):
+                writer.add("x", np.arange(3.0))
+            writer.add("y", np.arange(2.0))
+
+    def test_abort_publishes_nothing(self, tmp_path):
+        root = tmp_path / "aborted"
+        with pytest.raises(RuntimeError, match="mid-write"):
+            with ColumnarWriter(root) as writer:
+                writer.add("x", np.arange(100.0))
+                raise RuntimeError("mid-write")
+        assert not is_store(root)
+        assert not (root / "index.json").exists()
+        with pytest.raises(StoreError):
+            ColumnarStore(root)
+
+
+class TestAttachCache:
+    def test_attach_is_cached_and_detach_clears(self, tmp_path):
+        write_store(tmp_path, [("x", np.arange(8.0))])
+        columnar.detach()  # isolate from other tests
+        first = columnar.attach(tmp_path)
+        assert columnar.attach(tmp_path) is first
+        columnar.detach(tmp_path)
+        second = columnar.attach(tmp_path)
+        assert second is not first
+        columnar.detach()
+        assert not columnar._ATTACHED
+
+    def test_read_slice_copy_is_writable(self, tmp_path):
+        write_store(tmp_path, [("x", np.arange(8.0))])
+        (sl,) = store_slices(tmp_path).values()
+        view = read_slice(sl)
+        assert not view.flags.writeable
+        copy = read_slice(sl, copy=True)
+        copy += 1.0  # must not raise
+        assert np.array_equal(read_slice(sl), np.arange(8.0))
+        columnar.detach()
+
+
+class TestIndexValidation:
+    def test_segment_size_mismatch(self, tmp_path):
+        write_store(tmp_path, [("x", np.arange(16.0))])
+        with (tmp_path / "segment.bin").open("ab") as fh:
+            fh.write(b"\x00" * 8)
+        with pytest.raises(StoreError, match="torn write"):
+            ColumnarStore(tmp_path)
+
+    def test_missing_store_dir(self, tmp_path):
+        assert not is_store(tmp_path / "nope")
+        with pytest.raises(StoreError):
+            ColumnarStore(tmp_path / "nope")
+
+    def test_verify_deep_catches_bit_rot(self, tmp_path):
+        write_store(tmp_path, [("x", np.arange(4096.0))])
+        seg = tmp_path / "segment.bin"
+        raw = bytearray(seg.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        seg.write_bytes(bytes(raw))
+        with ColumnarStore(tmp_path) as store:
+            with pytest.raises(StoreError, match="checksum"):
+                store.verify(deep=True)
+
+
+class TestTornSegmentContract:
+    """Every TornSegment mode must make check_columnar_store report a
+    violation — and none may crash the checker."""
+
+    def test_clean_store_verifies(self, tmp_path):
+        cols = _columns(7)
+        write_store(tmp_path, cols.items())
+        report = check_columnar_store(tmp_path, expected=cols)
+        assert report.ok
+        assert {o.name for o in report.outcomes} >= {
+            "store.readable",
+            "store.checksums",
+            "store.content",
+        }
+
+    @pytest.mark.parametrize("mode", TornSegment.MODES)
+    def test_each_mode_detected(self, tmp_path, mode):
+        write_store(tmp_path, _columns(8).items())
+        injector = TornSegment(tmp_path, modes=(mode,))
+        assert injector() == mode
+        report = check_columnar_store(tmp_path)  # must not raise
+        assert not report.ok
+        assert any(not o.ok for o in report.outcomes)
+
+    def test_modes_cycle(self, tmp_path):
+        write_store(tmp_path, _columns(9).items())
+        injector = TornSegment(tmp_path)
+        seen = [injector() for _ in range(len(TornSegment.MODES) + 2)]
+        assert tuple(seen[: len(TornSegment.MODES)]) == TornSegment.MODES
+        assert seen[len(TornSegment.MODES)] == TornSegment.MODES[0]
+
+    def test_unknown_mode_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown corruption"):
+            TornSegment(tmp_path, modes=("shred",))
+
+    def test_wrong_schema_message_names_schema(self, tmp_path):
+        write_store(tmp_path, _columns(10).items())
+        TornSegment(tmp_path, modes=("wrong-schema",))()
+        doc = json.loads((tmp_path / "index.json").read_text())
+        assert doc["schema"] == "bogus.v0"
+        with pytest.raises(StoreError, match="schema"):
+            ColumnarStore(tmp_path)
