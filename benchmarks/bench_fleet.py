@@ -169,6 +169,28 @@ def _engine_pair(kind: str, n: int):
     return trace, policy
 
 
+def _hybrid_trace(n: int):
+    """~n arrivals in alternating quiet/busy phases (quiet rate 0.2/slot,
+    busy ~50/slot), so the hysteresis scan actually flips modes and the
+    segmented sweep crosses many DG/dyadic boundaries."""
+    from repro.arrivals.traces import ArrivalTrace
+
+    rng = np.random.default_rng(41)
+    phases = 8
+    per_phase = n / 200.0  # slots per phase
+    chunks = []
+    for k in range(phases):
+        lo, hi = k * per_phase, (k + 1) * per_phase
+        m = (
+            int(0.2 * per_phase)
+            if k % 2 == 0
+            else int((n - 0.8 * per_phase) / 4)
+        )
+        chunks.append(rng.uniform(lo, hi, size=m))
+    times = np.unique(np.concatenate(chunks))
+    return ArrivalTrace(times=tuple(times.tolist()), horizon=phases * per_phase)
+
+
 def _reference_catalog_sweep(catalog, workload):
     """Per-object event-driven sims + interval aggregation (the pre-fleet
     path a catalog run had to take)."""
@@ -217,6 +239,15 @@ def test_engine_dg_smoke(benchmark):
     policy = FleetPolicy.delay_guaranteed()
     fast = benchmark(simulate_batched, 15, trace, policy)
     assert_equivalent_run(simulate_event(15, trace, policy), fast)
+
+
+def test_engine_hybrid_smoke(benchmark):
+    trace = _hybrid_trace(2_000)
+    policy = FleetPolicy.hybrid(window_slots=10, rate_high=1.0, rate_low=0.5)
+    fast = benchmark(simulate_batched, ENGINE_L, trace, policy)
+    event = simulate_event(ENGINE_L, trace, policy)
+    assert_equivalent_run(event, fast)
+    assert len(fast.mode_log) >= 4  # the trace actually flips modes
 
 
 def test_scale_bucket_slots_smoke(benchmark):
@@ -330,6 +361,27 @@ def run_sweep() -> Dict:
                 _case(f"engine_{kind}", len(trace), ref_s, fast_s, L=ENGINE_L)
             )
 
+    # -- segmented hybrid: hysteresis scan + per-segment sweeps -------------
+    hybrid = FleetPolicy.hybrid(window_slots=20, rate_high=1.0, rate_low=0.5)
+    for n in (100_000, 1_000_000):
+        trace = _hybrid_trace(n)
+        ref_s, ref_res = timeit_best(
+            lambda: simulate_event(ENGINE_L, trace, hybrid), repeats=1
+        )
+        fast_s, fast_res = timeit_best(
+            lambda: simulate_batched(ENGINE_L, trace, hybrid), repeats=3
+        )
+        assert_equivalent_run(ref_res, fast_res)
+        # 4 busy phases: 4 DG entries + 3 exits (the last never exits)
+        assert len(fast_res.mode_log) >= 7, fast_res.mode_log
+        rows.append(
+            _case(
+                "engine_hybrid", len(trace), ref_s, fast_s,
+                L=ENGINE_L, mode_switches=len(fast_res.mode_log),
+                backend=backend,
+            )
+        )
+
     # -- sharded catalog runner vs per-object event sims --------------------
     catalog = Catalog.zipf(CATALOG_TITLES, duration_minutes=120.0)
     workload = split_requests(
@@ -411,8 +463,11 @@ def run_sweep() -> Dict:
             "Batched fleet engine: slot-sweep kernel vs the event-driven "
             "Simulation per policy family, and the sharded catalog runner "
             "vs per-object event sims.  Best-of-k wall clock; every pair "
-            "asserts full run equivalence (metrics, forests, clients) "
-            "in-run.  Floor: >= 10x at n = 10^5 for every engine case.  "
+            "asserts full run equivalence (metrics, forests, clients, mode "
+            "logs) in-run.  Floor: >= 10x at n = 10^5 for every engine "
+            "case.  engine_hybrid rows run the segmented sweep (hysteresis "
+            "scan + per-mode-segment forests) against the event-driven "
+            "HybridPolicy at 10^5 and 10^6 clients.  "
             "scale_* rows time the backend-dispatched kernels at 10^6/10^7 "
             "(floor >= 3x under numba; numpy-only rows record ~1x with an "
             "honest backend tag); fleet_columnar_catalog runs a 10^7-client "

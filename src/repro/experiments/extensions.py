@@ -9,22 +9,27 @@
   (from [6]) scoring the on-line heuristics on sparse workloads.
 
 ``multiplex`` and ``general-offline`` are grids (delay axis, intensity
-axis) and run as sweeps through the batched tier.  ``hybrid`` is
-genuinely non-grid: one workload, three policies, and the hybrid's
-rate-window mode feedback keeps it event-driven by design (see
-:mod:`repro.fleet.engine`) — it stays a direct driver.
+axis) and run as sweeps through the batched tier.  ``hybrid`` is one
+workload against three policies, all served by the batched kernel — the
+hybrid's rate-window mode feedback goes through the segmented sweep
+(:func:`repro.fleet.engine.simulate_segmented`), not an event queue.
+``hybrid-thresholds`` sweeps the hysteresis knobs over a (high, low)
+grid through the same kernel.
 """
 
 from __future__ import annotations
 
 from typing import List, Sequence
 
-from ..arrivals import ArrivalTrace, poisson
+from ..fleet.engine import FleetPolicy, simulate_batched
 from ..multiplex import Catalog, min_delay_for_budget
-from ..simulation import DelayGuaranteedPolicy, ImmediateDyadicPolicy, Simulation
-from ..simulation.hybrid import HybridPolicy
 from ..sweeps import Axis, SweepSpec, run_sweep
-from ..sweeps.evaluators import general_offline_point, multiplex_point
+from ..sweeps.evaluators import (
+    day_night_trace,
+    general_offline_point,
+    hybrid_threshold_point,
+    multiplex_point,
+)
 from .harness import ExperimentResult, register
 
 
@@ -121,22 +126,20 @@ def run_hybrid(
     seed: int = 3,
 ) -> List[ExperimentResult]:
     # Alternate night (quiet) and day (busy) phases.
-    times: List[float] = []
-    for phase in range(phases):
-        lam = day_lam if phase % 2 else night_lam
-        sub = poisson(lam, phase_slots, seed=seed + phase)
-        times.extend(phase * phase_slots + t for t in sub)
-    horizon = phases * phase_slots
-    trace = ArrivalTrace(times=tuple(sorted(times)), horizon=horizon)
+    trace = day_night_trace(day_lam, night_lam, phase_slots, phases, seed)
 
-    hybrid = HybridPolicy(L, window_slots=20, rate_high=1.0, rate_low=0.4)
-    res_h = Simulation(L, trace, hybrid).run()
-    res_dg = Simulation(L, trace, DelayGuaranteedPolicy(L)).run()
-    res_dy = Simulation(L, trace, ImmediateDyadicPolicy(L)).run()
+    # All three policies run through the batched kernel; the hybrid's
+    # mode feedback goes through the segmented sweep (bit-identical to
+    # the retired event-driven run — the equivalence suite pins it).
+    pol_h = FleetPolicy.hybrid(window_slots=20, rate_high=1.0, rate_low=0.4)
+    res_h = simulate_batched(L, trace, pol_h, slot=1.0)
+    res_dg = simulate_batched(L, trace, FleetPolicy.delay_guaranteed(), slot=1.0)
+    res_dy = simulate_batched(L, trace, FleetPolicy.immediate_dyadic(), slot=1.0)
+    mode_log = res_h.mode_log or []
 
     rows = [
         ("hybrid", round(res_h.metrics.streams_served, 2),
-         res_h.metrics.peak_concurrency(), len(hybrid.mode_log)),
+         res_h.metrics.peak_concurrency(), len(mode_log)),
         ("pure DG", round(res_dg.metrics.streams_served, 2),
          res_dg.metrics.peak_concurrency(), 0),
         ("immediate dyadic", round(res_dy.metrics.streams_served, 2),
@@ -152,8 +155,92 @@ def run_hybrid(
             notes=[
                 "Shape target: hybrid below pure DG in total bandwidth "
                 "while keeping DG's bounded peak during busy phases.",
-                f"hybrid mode log: {hybrid.mode_log}",
+                f"hybrid mode log: {mode_log}",
             ],
+        )
+    ]
+
+
+def hybrid_threshold_spec(
+    L: int,
+    rate_highs: Sequence[float],
+    low_fracs: Sequence[float],
+    window_slots: int,
+    day_lam: float,
+    night_lam: float,
+    phase_slots: float,
+    phases: int,
+    seed: int,
+) -> SweepSpec:
+    return SweepSpec(
+        name="hybrid-thresholds",
+        evaluator=hybrid_threshold_point,
+        axes=[
+            Axis("rate_high", tuple(rate_highs)),
+            Axis("low_frac", tuple(low_fracs)),
+        ],
+        fixed={
+            "L": int(L),
+            "window_slots": int(window_slots),
+            "day_lam": float(day_lam),
+            "night_lam": float(night_lam),
+            "phase_slots": float(phase_slots),
+            "phases": int(phases),
+            "seed": int(seed),
+        },
+        metrics=("streams", "peak", "switches"),
+    )
+
+
+@register(
+    "hybrid-thresholds",
+    "Hybrid hysteresis sensitivity: bandwidth and peak across thresholds",
+    "Section 5 (future work), made concrete",
+    "The hybrid server's mode thresholds swept over a (rate_high, "
+    "rate_low) grid on the day/night workload, through the segmented "
+    "batched kernel.",
+)
+def run_hybrid_thresholds(
+    L: int = 100,
+    rate_highs: Sequence[float] = (0.5, 1.0, 2.0),
+    low_fracs: Sequence[float] = (0.25, 0.5, 1.0),
+    window_slots: int = 20,
+    day_lam: float = 0.25,
+    night_lam: float = 8.0,
+    phase_slots: float = 500.0,
+    phases: int = 4,
+    seed: int = 3,
+) -> List[ExperimentResult]:
+    sweep = run_sweep(
+        hybrid_threshold_spec(
+            L, rate_highs, low_fracs, window_slots,
+            day_lam, night_lam, phase_slots, phases, seed,
+        )
+    )
+    rows = [
+        (rh, round(rh * lf, 3), round(streams, 2), peak, switches)
+        for rh, lf, streams, peak, switches in sweep.rows(
+            "rate_high", "low_frac", "streams", "peak", "switches"
+        )
+    ]
+    return [
+        ExperimentResult(
+            title=f"Hybrid hysteresis thresholds on the day/night workload "
+            f"(L={L}, window={window_slots} slots)",
+            headers=(
+                "rate_high",
+                "rate_low",
+                "streams served",
+                "peak channels",
+                "mode switches",
+            ),
+            rows=rows,
+            notes=[
+                "Shape target: wider hysteresis (rate_low well below "
+                "rate_high) trades a little bandwidth for fewer mode "
+                "switches; a low rate_high pins DG through busy phases.",
+            ],
+            columns=sweep.columns_json(),
         )
     ]
 

@@ -26,7 +26,7 @@ from .capacity import (
     dg_fleet_peak,
     render_frontier,
 )
-from .engine import SLOT_SWEEPABLE, FleetPolicy
+from .engine import FLEET_POLICIES, FleetPolicy
 from .runner import run_fleet
 from .scenarios import SCENARIOS, scenario_workload
 
@@ -53,7 +53,7 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="global mean inter-arrival in minutes (default 0.05)")
     parser.add_argument("--scenario", choices=sorted(SCENARIOS), default="zipf",
                         help="workload scenario (default zipf)")
-    parser.add_argument("--policy", choices=SLOT_SWEEPABLE,
+    parser.add_argument("--policy", choices=FLEET_POLICIES,
                         default="batched-dyadic",
                         help="serving policy (default batched-dyadic)")
     parser.add_argument("--workers", type=int, default=0,

@@ -37,13 +37,27 @@ wins, and the batched kernel evaluates it directly:
 * ``pure-batching`` / ``unicast`` — every served slot end / every
   arrival is a root of length ``L``.
 
-``HybridPolicy`` is **not** slot-sweepable and stays event-driven: its
-DG/dyadic mode bit is a stateful function of a sliding rate window with
-hysteresis, so the forest a slot contributes depends on the entire
-arrival prefix through the mode trajectory, not on the slot multiset —
-there is no closed-form flat construction to route through.  Any policy
-with feedback from realised load to structure (admission control,
-load-shedding) shares that fate.
+``HybridPolicy`` is not slot-sweepable in one shot — its DG/dyadic mode
+bit is a stateful function of a sliding rate window with hysteresis, so
+the forest a slot contributes depends on the arrival *prefix* through
+the mode trajectory, not on the slot multiset.  But the trajectory
+itself is a pure function of the per-slot arrival **counts**, so
+:func:`simulate_segmented` retires the hybrid's event queue too:
+bucket arrivals once, run the sequential hysteresis scan
+(:func:`repro.scale.kernels.hysteresis_scan` — backend-dispatched like
+every scale-tier kernel), cut the trace at mode switches, and sweep
+each constant-mode segment with the construction above — DG segments
+are the tiled Fibonacci template anchored at mode entry (a mode-exit
+cut is a preorder prefix, hence a valid forest whose ``z`` values
+already encode that extensions stopped), dyadic segments are
+``dyadic_flat_forest`` over the segment's served slot ends (exact
+because the event policy resets its dyadic builder at every mode
+entry).  The concatenated per-segment forests evaluate stream ends
+closed-form via Lemma 1 exactly as the single-policy kinds do.  This
+is the template for any policy with feedback from realised load to
+structure (admission control, load-shedding, QoE-adaptive selection):
+compute the feedback trajectory from counts, then slot-sweep the
+segments.
 
 Exactness contract
 ------------------
@@ -80,23 +94,25 @@ from ..core.full_cost import build_optimal_flat_forest
 from ..core.online import build_online_flat_forest
 from ..fastpath.dyadic import dyadic_flat_forest
 from ..fastpath.flat_forest import FlatForest
-from ..scale.kernels import bucket_slots
+from ..scale.kernels import bucket_slots, hysteresis_scan
 from ..simulation.metrics import BandwidthMetrics
 from ..simulation.server import Simulation
 from ..simulation.verify import VerificationReport, verify_forest, verify_forest_continuous
 
 __all__ = [
     "FleetPolicy",
+    "FLEET_POLICIES",
+    "SEGMENTED",
     "SLOT_SWEEPABLE",
     "BatchedResult",
     "simulate_batched",
+    "simulate_segmented",
     "make_event_policy",
     "simulate_event",
     "assert_equivalent_run",
 ]
 
-#: policy kinds the batched kernel accepts (see module docstring for why
-#: ``hybrid`` is absent).
+#: policy kinds whose whole run is one slot sweep (no mode feedback).
 SLOT_SWEEPABLE = (
     "delay-guaranteed",
     "offline-optimal",
@@ -106,6 +122,13 @@ SLOT_SWEEPABLE = (
     "pure-batching",
     "unicast",
 )
+
+#: feedback-coupled kinds swept per mode segment (see module docstring).
+SEGMENTED = ("hybrid",)
+
+#: every kind the fleet tier accepts; ``simulate_batched`` dispatches
+#: SEGMENTED kinds to :func:`simulate_segmented` transparently.
+FLEET_POLICIES = SLOT_SWEEPABLE + SEGMENTED
 
 _IMMEDIATE = ("immediate-dyadic", "unicast")
 
@@ -122,16 +145,27 @@ class FleetPolicy:
 
     kind: str
     params: Optional[DyadicParams] = None
+    #: hybrid-only knobs (ignored by every other kind): sliding-window
+    #: length and the hysteresis thresholds of the mode scan.
+    window_slots: int = 20
+    rate_high: float = 1.0
+    rate_low: float = 0.5
 
     def __post_init__(self) -> None:
-        if self.kind not in SLOT_SWEEPABLE:
+        if self.kind not in FLEET_POLICIES:
             raise ValueError(
-                f"unknown or non-sweepable policy kind {self.kind!r}; "
-                f"choose from {SLOT_SWEEPABLE} (hybrid policies are "
-                "load-feedback-dependent and must stay event-driven)"
+                f"unknown policy kind {self.kind!r}; "
+                f"choose from {FLEET_POLICIES}"
             )
-        if self.params is not None and "dyadic" not in self.kind:
+        if self.params is not None and (
+            "dyadic" not in self.kind and self.kind not in SEGMENTED
+        ):
             raise ValueError(f"{self.kind} takes no dyadic params")
+        if self.kind == "hybrid":
+            if self.window_slots < 1:
+                raise ValueError("window_slots must be >= 1")
+            if not 0 <= self.rate_low <= self.rate_high:
+                raise ValueError("need 0 <= rate_low <= rate_high")
 
     @property
     def uses_slots(self) -> bool:
@@ -167,6 +201,15 @@ class FleetPolicy:
     def unicast() -> "FleetPolicy":
         return FleetPolicy("unicast")
 
+    @staticmethod
+    def hybrid(
+        params: Optional[DyadicParams] = None,
+        window_slots: int = 20,
+        rate_high: float = 1.0,
+        rate_low: float = 0.5,
+    ) -> "FleetPolicy":
+        return FleetPolicy("hybrid", params, window_slots, rate_high, rate_low)
+
 
 @dataclass
 class BatchedResult:
@@ -193,6 +236,9 @@ class BatchedResult:
     client_arrival: np.ndarray
     client_service: np.ndarray
     client_node: np.ndarray
+    #: (slot_index, mode) switch history for segmented kinds, matching the
+    #: event policy's ``mode_log`` entry for entry; None for pure sweeps.
+    mode_log: Optional[List[Tuple[int, str]]] = None
     _paths: Optional[List[Tuple[float, ...]]] = field(default=None, repr=False)
 
     def flat_forest(self) -> FlatForest:
@@ -304,6 +350,8 @@ def simulate_batched(
     for every kind in :data:`SLOT_SWEEPABLE` — same metrics, same flat
     forest (see the module docstring for the exactness contract).
     """
+    if policy.kind in SEGMENTED:
+        return simulate_segmented(L, trace, policy, slot)
     if L < 1:
         raise ValueError(f"L must be >= 1, got {L}")
     if slot <= 0:
@@ -421,6 +469,139 @@ def _nodes_among_served(
     return np.where(client_slot >= 0, node, -1).astype(np.intp)
 
 
+def simulate_segmented(
+    L: int,
+    trace: ArrivalTrace,
+    policy: FleetPolicy,
+    slot: float = 1.0,
+) -> BatchedResult:
+    """Run a feedback-coupled policy as a sequence of slot sweeps.
+
+    The batched equivalent of the event-driven ``HybridPolicy`` run:
+    bucket arrivals once, compute the DG/dyadic mode trajectory with the
+    backend-dispatched hysteresis scan over per-slot arrival counts, cut
+    the trace at mode switches, and sweep each constant-mode segment
+    closed-form — DG segments are the tiled Fibonacci template anchored
+    at mode entry (the mode-exit cut is a preorder prefix, so its ``z``
+    values already encode that extensions stopped), dyadic segments are
+    the (alpha, beta)-dyadic forest over the segment's *served* slot ends
+    (exact because the event policy starts a fresh ``DyadicFlatOnline``
+    at every dyadic mode entry).  Per-segment forests concatenate into
+    one flat forest: labels stay strictly increasing and no tree spans a
+    segment boundary, so global ``z`` values equal the per-segment ones.
+
+    Same exactness contract as :func:`simulate_batched`: bit-identical
+    metrics, parent arrays, and mode log for power-of-two ``slot``.
+    """
+    if L < 1:
+        raise ValueError(f"L must be >= 1, got {L}")
+    if slot <= 0:
+        raise ValueError(f"slot must be positive, got {slot}")
+    if policy.kind not in SEGMENTED:
+        raise ValueError(f"{policy.kind!r} is not a segmented policy kind")
+    params = policy.params or DyadicParams()
+    times = np.asarray(trace.times, dtype=np.float64)
+    n_clients = times.size
+    nslots = trace.num_slots(slot)
+    slot_ends = np.arange(1, nslots + 1, dtype=np.float64) * slot
+    client_slot, served_idx = _served_slots(times, slot_ends)
+
+    mode_log: List[Tuple[int, str]] = []
+    labels_parts: List[np.ndarray] = []
+    parent_parts: List[np.ndarray] = []
+    length_parts: List[np.ndarray] = []
+    node_of_slot = np.full(nslots, -1, dtype=np.intp)
+    offset = 0
+    if nslots:
+        in_slot = client_slot >= 0
+        counts = np.bincount(
+            client_slot[in_slot], minlength=nslots
+        ).astype(np.int64)
+        mode = hysteresis_scan(
+            counts, policy.window_slots, policy.rate_high, policy.rate_low
+        )
+        # The event policy starts in dyadic mode (0) and logs each switch
+        # at the slot it takes effect; plain-int entries keep the log's
+        # repr identical to the oracle's.
+        switches = np.flatnonzero(np.diff(np.concatenate(([0], mode))) != 0)
+        mode_log = [
+            (int(k), "dg" if mode[k] else "dyadic") for k in switches.tolist()
+        ]
+        is_served = np.zeros(nslots, dtype=bool)
+        is_served[served_idx] = True
+        cuts = (np.flatnonzero(np.diff(mode) != 0) + 1).tolist()
+        for s, e in zip([0] + cuts, cuts + [nslots]):
+            if mode[s]:
+                # DG serves every slot of the segment, empty or not, and
+                # works in the scaled frame (labels are slot-end times).
+                n_seg = e - s
+                seg_labels = slot_ends[s:e]
+                seg_parent = build_online_flat_forest(L, n_seg).parent
+                seg_len = FlatForest(seg_labels, seg_parent).stream_lengths(
+                    L * slot
+                )
+                node_of_slot[s:e] = offset + np.arange(n_seg)
+            else:
+                seg_served = np.flatnonzero(is_served[s:e]) + s
+                if seg_served.size == 0:
+                    continue
+                seg_labels = slot_ends[seg_served]
+                flat_units = dyadic_flat_forest(seg_labels / slot, L, params)
+                seg_parent = flat_units.parent
+                seg_len = flat_units.stream_lengths(L) * slot
+                node_of_slot[seg_served] = offset + np.arange(seg_served.size)
+            labels_parts.append(seg_labels)
+            parent_parts.append(
+                np.where(seg_parent < 0, -1, seg_parent + offset)
+            )
+            length_parts.append(seg_len)
+            offset += seg_labels.size
+
+    forest: Optional[FlatForest] = None
+    lengths = np.empty(0, dtype=np.float64)
+    if labels_parts:
+        forest = FlatForest(
+            np.concatenate(labels_parts),
+            np.concatenate(parent_parts).astype(np.intp),
+        )
+        lengths = np.concatenate(length_parts)
+        starts = forest.arrivals
+        metrics = _metrics_from_arrays(
+            L, n_clients, starts, starts + lengths, forest.is_root
+        )
+    else:
+        metrics = BandwidthMetrics(L=L)
+        metrics.clients_served = n_clients
+
+    if nslots:
+        served = client_slot >= 0
+        client_service = np.where(
+            served, slot_ends[np.maximum(client_slot, 0)], math.nan
+        )
+        # Any slot with arrivals is served in either mode, so the lookup
+        # never hits a -1 entry for a served client.
+        client_node = np.where(
+            served, node_of_slot[np.maximum(client_slot, 0)], -1
+        ).astype(np.intp)
+    else:
+        client_service = np.full(n_clients, math.nan, dtype=np.float64)
+        client_node = np.full(n_clients, -1, dtype=np.intp)
+
+    return BatchedResult(
+        policy_name=policy.kind,
+        L=L,
+        slot=slot,
+        horizon=trace.horizon,
+        metrics=metrics,
+        forest=forest,
+        lengths=lengths,
+        client_arrival=times,
+        client_service=client_service,
+        client_node=client_node,
+        mode_log=mode_log,
+    )
+
+
 # ---------------------------------------------------------------------------
 # Oracle pairing: the matching event-driven run
 # ---------------------------------------------------------------------------
@@ -456,6 +637,16 @@ def make_event_policy(policy: FleetPolicy, L: int, trace: ArrivalTrace, slot: fl
         return PureBatchingPolicy(L)
     if kind == "unicast":
         return UnicastPolicy(L)
+    if kind == "hybrid":
+        from ..simulation.hybrid import HybridPolicy
+
+        return HybridPolicy(
+            L,
+            policy.params,
+            window_slots=policy.window_slots,
+            rate_high=policy.rate_high,
+            rate_low=policy.rate_low,
+        )
     raise ValueError(f"no event policy for {kind!r}")  # pragma: no cover
 
 
@@ -479,6 +670,10 @@ def assert_equivalent_run(event_result, batched: BatchedResult) -> None:
     assert em.streams_started == bm.streams_started, "streams_started differ"
     assert em.roots_started == bm.roots_started, "roots_started differ"
     assert em.clients_served == bm.clients_served, "clients_served differ"
+
+    e_log = list(getattr(event_result, "mode_log", None) or [])
+    b_log = list(batched.mode_log or [])
+    assert e_log == b_log, f"mode logs differ: {e_log} != {b_log}"
 
     ea = np.asarray(em.intervals, dtype=np.float64).reshape(-1, 2)
     ba = np.asarray(bm.intervals, dtype=np.float64).reshape(-1, 2)

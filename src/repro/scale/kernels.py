@@ -5,7 +5,10 @@ ROADMAP item 1 names the three kernels that stayed pure-numpy-bound after
 the flat refactors: slot bucketing + flat-forest construction in
 :func:`repro.fleet.engine.simulate_batched`, the per-tree-level replay
 algebra in :mod:`repro.fastpath.replay`, and the Knuth window scan in
-:mod:`repro.fastpath.general`.  This module carries each of them twice:
+:mod:`repro.fastpath.general`; the segmented hybrid engine adds the
+sequential hysteresis mode scan (:func:`hysteresis_scan`, driving
+:func:`repro.fleet.engine.simulate_segmented`).  This module carries
+each of them twice:
 
 * a **scalar body** written in the numba-compatible subset of Python
   (plain loops over contiguous arrays, no allocation beyond outputs) —
@@ -42,6 +45,7 @@ __all__ = [
     "configure_backend",
     "bucket_slots",
     "forest_z",
+    "hysteresis_scan",
     "knuth_tables",
     "replay_walk",
 ]
@@ -130,6 +134,34 @@ def _forest_z_body(arrivals, parent, z):
         p = parent[i]
         if p >= 0 and z[i] > z[p]:
             z[p] = z[i]
+
+
+def _hysteresis_scan_body(counts, window, rate_high, rate_low, mode):
+    """Sequential sliding-window rate scan with hysteresis.
+
+    The mode recurrence of ``HybridPolicy``: at slot ``k`` the window
+    holds the last ``min(k+1, window)`` per-slot arrival counts
+    *including* slot ``k`` (the policy appends before deciding), the
+    rate is their integer sum over the window length (one exact int/int
+    IEEE division — identical to ``sum(deque)/len(deque)``), and the
+    mode bit flips dyadic->dg at ``rate >= rate_high``, dg->dyadic at
+    ``rate < rate_low``.  ``mode[k]`` is the bit the slot is *served*
+    under (1 = dg).
+    """
+    running = 0
+    m = 0
+    for k in range(counts.shape[0]):
+        running += counts[k]
+        if k >= window:
+            running -= counts[k - window]
+        length = k + 1 if k + 1 < window else window
+        rate = running / length
+        if m == 0:
+            if rate >= rate_high:
+                m = 1
+        elif rate < rate_low:
+            m = 0
+        mode[k] = m
 
 
 def _knuth_tables_body(ts, cost, split):
@@ -232,11 +264,13 @@ if HAVE_NUMBA:  # pragma: no cover - exercised only when numba is installed
     _cache = os.environ.get("REPRO_NUMBA_CACHE", "1") != "0"
     _bucket_slots_jit = _njit(cache=_cache)(_bucket_slots_body)
     _forest_z_jit = _njit(cache=_cache)(_forest_z_body)
+    _hysteresis_scan_jit = _njit(cache=_cache)(_hysteresis_scan_body)
     _knuth_tables_jit = _njit(cache=_cache)(_knuth_tables_body)
     _replay_walk_jit = _njit(cache=_cache)(_replay_walk_body)
 else:
     _bucket_slots_jit = _bucket_slots_body
     _forest_z_jit = _forest_z_body
+    _hysteresis_scan_jit = _hysteresis_scan_body
     _knuth_tables_jit = _knuth_tables_body
     _replay_walk_jit = _replay_walk_body
 
@@ -293,6 +327,50 @@ def forest_z(arrivals: np.ndarray, parent: np.ndarray) -> np.ndarray:
             if zi > zl[p]:
                 zl[p] = zi
     return np.asarray(zl, dtype=np.float64)
+
+
+def hysteresis_scan(
+    counts: np.ndarray, window: int, rate_high: float, rate_low: float
+) -> np.ndarray:
+    """Per-slot DG/dyadic mode bits for the hybrid policy, in one pass.
+
+    ``counts[k]`` is the number of arrivals slot ``k`` caught
+    (``np.bincount`` over ``bucket_slots`` output); the return is an
+    int8 array with ``mode[k] = 1`` when slot ``k`` is served in DG mode
+    and 0 for dyadic — exactly the trajectory the event-driven
+    ``HybridPolicy`` realises (append count, update mode with hysteresis,
+    serve under the updated mode).  The rate at slot ``k`` is the integer
+    sum of the last ``min(k+1, window)`` counts divided by that length —
+    int/int division, so both backends (and the oracle's running-sum
+    ``_rate``) evaluate the identical IEEE quotient.  Inherently
+    sequential (the mode bit feeds back), like :func:`forest_z`: the
+    numpy backend runs the same recurrence as a plain list loop.
+    """
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    if not 0 <= rate_low <= rate_high:
+        raise ValueError("need 0 <= rate_low <= rate_high")
+    counts = np.ascontiguousarray(counts, dtype=np.int64)
+    mode = np.empty(counts.size, dtype=np.int8)
+    if _BACKEND == "numba":
+        _hysteresis_scan_jit(counts, window, rate_high, rate_low, mode)
+        return mode
+    cl = counts.tolist()
+    running = 0
+    m = 0
+    for k in range(len(cl)):
+        running += cl[k]
+        if k >= window:
+            running -= cl[k - window]
+        length = k + 1 if k + 1 < window else window
+        rate = running / length
+        if m == 0:
+            if rate >= rate_high:
+                m = 1
+        elif rate < rate_low:
+            m = 0
+        mode[k] = m
+    return mode
 
 
 def knuth_tables(ts: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:

@@ -63,6 +63,7 @@ class HybridPolicy(Policy):
         self.rate_high = rate_high
         self.rate_low = rate_low
         self._recent: Deque[int] = deque(maxlen=window_slots)
+        self._recent_sum = 0
         self._mode = "dyadic"
         self._dg_anchor: Optional[int] = None
         self._dyadic = DyadicFlatOnline(L, self.params)
@@ -71,10 +72,19 @@ class HybridPolicy(Policy):
 
     # -- rate estimation -------------------------------------------------------
 
+    def _observe(self, count: int) -> None:
+        # Running integer sum: O(1) per slot instead of re-summing the
+        # whole window, and exactly equal to sum(self._recent) — the
+        # counts are ints, so no float accumulation drift is possible.
+        if len(self._recent) == self.window_slots:
+            self._recent_sum -= self._recent[0]
+        self._recent.append(count)
+        self._recent_sum += count
+
     def _rate(self) -> float:
         if not self._recent:
             return 0.0
-        return sum(self._recent) / len(self._recent)
+        return self._recent_sum / len(self._recent)
 
     def _update_mode(self, slot_index: int) -> None:
         rate = self._rate()
@@ -97,7 +107,7 @@ class HybridPolicy(Policy):
     def on_slot_end(
         self, slot_index: int, clients: List["Client"], sim: "Simulation"
     ) -> None:
-        self._recent.append(len(clients))
+        self._observe(len(clients))
         self._update_mode(slot_index)
         if self._mode == "dg":
             self._serve_dg(slot_index, clients, sim)

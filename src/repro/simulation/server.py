@@ -54,6 +54,9 @@ class SimulationResult:
     clients: List[Client]
     streams: Dict[float, Stream]
     horizon: float
+    #: (slot_index, mode) switch history for mode-switching policies
+    #: (``HybridPolicy``); None for policies without one.
+    mode_log: Optional[List[tuple]] = None
 
     def flat_forest(self) -> FlatForest:
         """The merge forest the run realised, as flat parent arrays.
@@ -214,6 +217,7 @@ class Simulation:
             clients=self.clients,
             streams=self.streams,
             horizon=self.trace.horizon,
+            mode_log=getattr(self.policy, "mode_log", None),
         )
 
     # -- event handlers -----------------------------------------------------

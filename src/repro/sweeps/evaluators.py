@@ -47,6 +47,8 @@ __all__ = [
     "bounded_buffer_point",
     "multiplex_point",
     "general_offline_point",
+    "hybrid_threshold_point",
+    "day_night_trace",
     "tree_multiplicity_point",
 ]
 
@@ -339,6 +341,62 @@ def multiplex_point(
         "dg_units": dg.total_units_minutes,
         "dy_peak": dy.peak_channels,
         "dy_units": dy.total_units_minutes,
+    }
+
+
+def day_night_trace(
+    day_lam: float,
+    night_lam: float,
+    phase_slots: float,
+    phases: int,
+    seed: int,
+) -> ArrivalTrace:
+    """Alternating quiet/busy Poisson phases (the Section 5 hybrid workload).
+
+    Phase ``p`` uses mean inter-arrival ``day_lam`` when odd, ``night_lam``
+    when even, seeded per phase — exactly the trace the hybrid golden
+    table has always been generated from.
+    """
+    times = []
+    for phase in range(phases):
+        lam = day_lam if phase % 2 else night_lam
+        sub = poisson(lam, phase_slots, seed=seed + phase)
+        times.extend(phase * phase_slots + t for t in sub)
+    return ArrivalTrace(
+        times=tuple(sorted(times)), horizon=phases * phase_slots
+    )
+
+
+def hybrid_threshold_point(
+    *,
+    rate_high: float,
+    low_frac: float,
+    L: int,
+    window_slots: int,
+    day_lam: float,
+    night_lam: float,
+    phase_slots: float,
+    phases: int,
+    seed: int,
+) -> Dict[str, object]:
+    """One hysteresis setting of the hybrid server on the day/night trace.
+
+    ``rate_low = low_frac * rate_high`` keeps the sweep grid rectangular
+    while satisfying the ``0 <= rate_low <= rate_high`` contract at every
+    point.  Runs through the segmented batched kernel (``hybrid`` kind of
+    :func:`repro.fleet.engine.simulate_batched`) — no event queue.
+    """
+    trace = day_night_trace(day_lam, night_lam, phase_slots, phases, seed)
+    policy = FleetPolicy.hybrid(
+        window_slots=window_slots,
+        rate_high=rate_high,
+        rate_low=low_frac * rate_high,
+    )
+    run = simulate_batched(L, trace, policy, slot=1.0)
+    return {
+        "streams": float(run.metrics.streams_served),
+        "peak": int(run.metrics.peak_concurrency()),
+        "switches": len(run.mode_log or []),
     }
 
 

@@ -49,6 +49,7 @@ class TestFleetContracts:
             "pure-batching",
             "immediate-dyadic",
             "unicast",
+            "hybrid",
         ],
     )
     def test_clean_run_passes_all_contracts(self, catalog, workload, kind):
@@ -57,6 +58,21 @@ class TestFleetContracts:
         contracts = check_fleet_report(report, catalog, workload, policy)
         assert contracts.ok, contracts.render()
         assert contracts.checks > len(catalog.objects)
+
+    def test_segmented_replay_detects_tampering(self, catalog, workload):
+        """The replay contract covers segmented (hybrid) runs: shifting a
+        mode boundary's worth of intervals must fail the re-simulation."""
+        policy = FleetPolicy.hybrid(window_slots=5, rate_high=0.5, rate_low=0.2)
+        report = _report(catalog, workload, policy)
+        contracts = check_fleet_report(report, catalog, workload, policy)
+        assert contracts.ok, contracts.render()
+        victim = next(o for o in report.objects if o.streams > 1)
+        idx = report.objects.index(victim)
+        starts = victim.starts.copy()
+        starts[-1] += 0.25  # nudge one stream off its slot end
+        report.objects[idx] = dataclasses.replace(victim, starts=starts)
+        broken = check_fleet_report(report, catalog, workload, policy)
+        assert any(o.name == "fleet.replay" for o in broken.failures())
 
     def test_summary_contracts_without_replay(self, catalog, workload):
         report = _report(catalog, workload, FleetPolicy.batched_dyadic())

@@ -120,6 +120,82 @@ def test_equivalence_on_poisson_traces(mean, seed, L):
         )
 
 
+# ---------------------------------------------------------------------------
+# the segmented hybrid kind (PR 10): thresholds x windows x slot geometry
+# ---------------------------------------------------------------------------
+
+#: (window_slots, rate_high, rate_low) with rate_low drawn as a fraction
+#: of rate_high, so every draw satisfies the 0 <= low <= high contract;
+#: frac=1.0 (low == high) and window=1 are the flapping-prone corners.
+hybrid_knobs = st.builds(
+    lambda w, rh, frac: (w, rh, rh * frac),
+    st.integers(min_value=1, max_value=6),
+    st.sampled_from([0.25, 0.5, 1.0, 2.0]),
+    st.sampled_from([0.0, 0.5, 1.0]),
+)
+
+
+class TestHybridEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        trace=edge_of_slot_traces(),
+        knobs=hybrid_knobs,
+        L=st.sampled_from([5, 9, 15]),
+    )
+    def test_hybrid_equivalence_on_edge_traces(self, trace, knobs, L):
+        w, rh, rl = knobs
+        policy = FleetPolicy.hybrid(window_slots=w, rate_high=rh, rate_low=rl)
+        event = simulate_event(L, trace, policy)
+        batched = simulate_batched(L, trace, policy)
+        assert_equivalent_run(event, batched)
+        # Both logs are plain (int, str) tuples: byte-equal reprs, so the
+        # golden table's rendered mode-log note cannot drift.
+        assert repr(event.mode_log) == repr(batched.mode_log)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        trace=edge_of_slot_traces(),
+        slot=st.sampled_from([0.5, 0.25, 2.0]),
+        knobs=hybrid_knobs,
+    )
+    def test_hybrid_under_binary_slot_scaling(self, trace, slot, knobs):
+        w, rh, rl = knobs
+        scaled = ArrivalTrace(
+            times=tuple(t * slot for t in trace.times),
+            horizon=trace.horizon * slot,
+        )
+        policy = FleetPolicy.hybrid(window_slots=w, rate_high=rh, rate_low=rl)
+        assert_equivalent_run(
+            simulate_event(7, scaled, policy, slot=slot),
+            simulate_batched(7, scaled, policy, slot=slot),
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31), L=st.sampled_from([10, 20]))
+    def test_hybrid_on_bursty_poisson_traces(self, seed, L):
+        """Alternating busy/quiet phases drive the rate across both
+        thresholds, so the scan's segment cutting is actually exercised."""
+        from repro.arrivals import poisson
+
+        times = []
+        for phase in range(4):
+            lam = 0.3 if phase % 2 else 4.0
+            sub = poisson(lam, 15.0, seed=seed + phase)
+            times.extend(phase * 15.0 + t for t in sub)
+        trace = ArrivalTrace(times=tuple(sorted(times)), horizon=60.0)
+        policy = FleetPolicy.hybrid(window_slots=4, rate_high=1.0, rate_low=0.5)
+        event = simulate_event(L, trace, policy)
+        batched = simulate_batched(L, trace, policy)
+        assert_equivalent_run(event, batched)
+
+    def test_hybrid_segmented_run_verifies(self):
+        trace = ArrivalTrace(
+            times=tuple(i + 0.25 for i in range(16)), horizon=16.0
+        )
+        policy = FleetPolicy.hybrid(window_slots=2, rate_high=1.0, rate_low=0.5)
+        simulate_batched(15, trace, policy).verify().raise_if_failed()
+
+
 class TestDeterministicEdges:
     def test_boundary_arrival_lands_in_next_slot(self):
         # 2.0 is exactly the end of slot 1: SlotEnd(1) fires before the
@@ -170,11 +246,21 @@ class TestDeterministicEdges:
         ):
             simulate_batched(15, trace, policy).verify().raise_if_failed()
 
-    def test_rejects_unknown_and_hybrid_kinds(self):
-        with pytest.raises(ValueError, match="event-driven"):
-            FleetPolicy("hybrid")
+    def test_rejects_unknown_kinds_and_bad_thresholds(self):
+        with pytest.raises(ValueError, match="unknown policy kind"):
+            FleetPolicy("multicast-magic")
         with pytest.raises(ValueError):
             FleetPolicy("unicast", DyadicParams())
+        # hybrid is a first-class fleet kind now (PR 10), with validated
+        # hysteresis knobs; dyadic params are allowed (its quiet mode).
+        assert FleetPolicy("hybrid").uses_slots
+        assert FleetPolicy.hybrid(DyadicParams()).params is not None
+        with pytest.raises(ValueError, match="window_slots"):
+            FleetPolicy.hybrid(window_slots=0)
+        with pytest.raises(ValueError, match="rate_low"):
+            FleetPolicy.hybrid(rate_high=1.0, rate_low=2.0)
+        with pytest.raises(ValueError, match="rate_low"):
+            FleetPolicy.hybrid(rate_low=-0.5)
 
     def test_rejects_bad_args(self):
         trace = ArrivalTrace(times=(0.5,), horizon=2.0)

@@ -51,6 +51,22 @@ class TestRunFleet:
             assert np.array_equal(a.ends, b.ends)
         assert serial.peak_channels == sharded.peak_channels
 
+    def test_hybrid_worker_count_does_not_change_results(self, catalog, workload):
+        """Segmented hybrid through the sharded runner: workers=0 and
+        workers=2 must produce byte-identical FleetReports (the exact
+        equivalence predicate the burn-in contracts replay)."""
+        from repro.burnin.contracts import fleet_reports_equal
+
+        policy = FleetPolicy.hybrid(window_slots=5, rate_high=0.5, rate_low=0.2)
+        serial = run_fleet(
+            catalog, 2.0, 180.0, policy=policy, workload=workload, workers=0,
+        )
+        sharded = run_fleet(
+            catalog, 2.0, 180.0, policy=policy, workload=workload, workers=2,
+        )
+        assert fleet_reports_equal(serial, sharded) is None
+        assert serial.policy == "hybrid"
+
     def test_objects_missing_from_workload_cost_nothing(self, catalog):
         workload = {catalog[0].name: poisson(0.5, 180.0, seed=5)}
         # general-offline is undefined over zero served slots — quiet

@@ -46,6 +46,29 @@ slot_ends = st.lists(
     st.floats(0.25, 4.0, allow_nan=False), min_size=1, max_size=40
 ).map(lambda xs: np.cumsum(np.asarray(xs, dtype=np.float64)))
 
+#: per-slot arrival counts (hysteresis-scan input), biased toward runs of
+#: zeros and small bursts so the mode trajectory actually switches
+slot_counts = st.lists(
+    st.one_of(st.just(0), st.integers(0, 5)), min_size=0, max_size=80
+).map(lambda xs: np.asarray(xs, dtype=np.int64))
+
+
+def _hysteresis_reference(counts, window, rate_high, rate_low):
+    """The event ``HybridPolicy`` mode trajectory, deque window and all."""
+    from collections import deque
+
+    recent = deque(maxlen=window)
+    mode, out = 0, []
+    for c in counts:
+        recent.append(c)
+        rate = sum(recent) / len(recent)
+        if mode == 0 and rate >= rate_high:
+            mode = 1
+        elif mode == 1 and rate < rate_low:
+            mode = 0
+        out.append(mode)
+    return out
+
 
 @st.composite
 def random_forest(draw, max_n: int = 50):
@@ -176,6 +199,36 @@ class TestScalarBodiesMatchFallbacks:
                 "receive-three",
             )
 
+    @settings(max_examples=60, deadline=None)
+    @given(slot_counts, st.integers(1, 8),
+           st.floats(0.0, 4.0), st.floats(0.0, 1.0))
+    def test_hysteresis_scan_body(self, counts, window, rate_high, low_frac):
+        rate_low = rate_high * low_frac
+        K.configure_backend("numpy")
+        ref = K.hysteresis_scan(counts, window, rate_high, rate_low)
+        mode = np.empty(counts.size, dtype=np.int8)
+        K._hysteresis_scan_body(
+            counts.astype(np.int64), window, rate_high, rate_low, mode
+        )
+        assert np.array_equal(mode, ref)
+        # And both match the event policy's deque-window reference model.
+        assert mode.tolist() == _hysteresis_reference(
+            counts.tolist(), window, rate_high, rate_low
+        )
+
+    def test_hysteresis_scan_validates_inputs(self):
+        counts = np.zeros(3, dtype=np.int64)
+        with pytest.raises(ValueError, match="window"):
+            K.hysteresis_scan(counts, 0, 1.0, 0.5)
+        with pytest.raises(ValueError, match="rate_low"):
+            K.hysteresis_scan(counts, 2, 1.0, 2.0)
+        with pytest.raises(ValueError, match="rate_low"):
+            K.hysteresis_scan(counts, 2, 1.0, -0.1)
+
+    def test_hysteresis_scan_empty_counts(self):
+        out = K.hysteresis_scan(np.empty(0, dtype=np.int64), 3, 1.0, 0.5)
+        assert out.size == 0 and out.dtype == np.int8
+
 
 # ---------------------------------------------------------------------------
 # the compiled dispatchers (JIT path; skipped on numpy-only environments)
@@ -234,3 +287,17 @@ class TestJitBackend:
                 assert np.array_equal(a, b)
             else:
                 assert a == b
+
+    @settings(max_examples=25, deadline=None)
+    @given(slot_counts, st.integers(1, 8),
+           st.floats(0.0, 4.0), st.floats(0.0, 1.0))
+    def test_hysteresis_scan_backends_identical(
+        self, counts, window, rate_high, low_frac
+    ):
+        rate_low = rate_high * low_frac
+        K.configure_backend("numpy")
+        ref = K.hysteresis_scan(counts, window, rate_high, rate_low)
+        K.configure_backend("numba")
+        assert np.array_equal(
+            K.hysteresis_scan(counts, window, rate_high, rate_low), ref
+        )

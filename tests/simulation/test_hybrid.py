@@ -98,3 +98,68 @@ class TestCosts:
         assert all(c.tree_label is not None for c in res.clients)
         assert res.max_startup_delay() <= 1.0
         verify_simulation(res).raise_if_failed()
+
+
+class TestThresholdEdgeCases:
+    """Degenerate hysteresis settings, against BOTH engines.
+
+    Each case runs the event policy and the segmented batched kernel and
+    asserts full equivalence, so the edge semantics are pinned once for
+    the pair rather than per engine.
+    """
+
+    @staticmethod
+    def _both(trace, L=20, **knobs):
+        from repro.fleet import (
+            FleetPolicy,
+            assert_equivalent_run,
+            simulate_batched,
+            simulate_event,
+        )
+
+        policy = FleetPolicy.hybrid(**knobs)
+        event = simulate_event(L, trace, policy)
+        batched = simulate_batched(L, trace, policy)
+        assert_equivalent_run(event, batched)
+        return event, batched
+
+    def test_equal_thresholds_flap_on_alternating_load(self):
+        # rate_low == rate_high with window 1: the mode bit tracks the
+        # per-slot count's threshold crossing exactly — maximal flapping.
+        times = tuple(t + 0.5 for t in range(0, 20, 2))  # every other slot
+        trace = ArrivalTrace(times=times, horizon=20.0)
+        event, batched = self._both(
+            trace, window_slots=1, rate_high=1.0, rate_low=1.0
+        )
+        modes = [m for _, m in batched.mode_log]
+        assert modes == ["dg", "dyadic"] * (len(modes) // 2)
+        assert len(batched.mode_log) == 20  # switches every slot
+        assert event.mode_log == batched.mode_log
+
+    def test_window_of_one_reacts_instantly(self):
+        trace = ArrivalTrace(times=(0.5, 1.5, 8.5), horizon=12.0)
+        _, batched = self._both(
+            trace, window_slots=1, rate_high=1.0, rate_low=0.5
+        )
+        # each non-empty slot enters DG, each empty slot right after exits
+        assert batched.mode_log == [
+            (0, "dg"), (2, "dyadic"), (8, "dg"), (9, "dyadic")
+        ]
+
+    def test_all_empty_slots_stay_dyadic_and_silent(self):
+        trace = ArrivalTrace(times=(), horizon=15.0)
+        event, batched = self._both(trace, window_slots=3)
+        assert batched.mode_log == [] and event.mode_log == []
+        assert batched.forest is None
+        assert batched.metrics.streams_started == 0
+
+    def test_all_empty_slots_with_zero_threshold_run_dg(self):
+        # rate_high = 0: DG from slot 0 even with no arrivals at all —
+        # the server broadcasts every slot to nobody, by contract.
+        trace = ArrivalTrace(times=(), horizon=10.0)
+        event, batched = self._both(
+            trace, window_slots=3, rate_high=0.0, rate_low=0.0
+        )
+        assert batched.mode_log == [(0, "dg")]
+        assert batched.metrics.streams_started == 10
+        assert (batched.client_node == -1).all()
